@@ -1,0 +1,132 @@
+package wfadvice_test
+
+// One benchmark per experiment family (E1–E12): each measures the cost of
+// regenerating the corresponding EXPERIMENTS.md table row set, plus
+// micro-benchmarks for the substrates the solvers are built on (the step
+// runtime, shared-memory consensus, and the BG simulation). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Absolute times are machine-local; what matters for the reproduction is
+// that every benchmark's internal validity checks pass (a failing claim
+// aborts the benchmark).
+
+import (
+	"fmt"
+	"testing"
+
+	"wfadvice"
+	"wfadvice/internal/exp"
+)
+
+func benchExperiment(b *testing.B, id string, run func() *wfadvice.ExpTable) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl := run()
+		if tbl.Failures > 0 {
+			b.Fatalf("%s: %d failures", id, tbl.Failures)
+		}
+	}
+}
+
+func BenchmarkE1Prop1(b *testing.B)          { benchExperiment(b, "E1", exp.E1Prop1) }
+func BenchmarkE2SHelpers(b *testing.B)       { benchExperiment(b, "E2", exp.E2SHelpers) }
+func BenchmarkE3Separation(b *testing.B)     { benchExperiment(b, "E3", exp.E3Separation) }
+func BenchmarkE4KCodes(b *testing.B)         { benchExperiment(b, "E4", exp.E4KCodes) }
+func BenchmarkE5SolveKSet(b *testing.B)      { benchExperiment(b, "E5", exp.E5SolveKSet) }
+func BenchmarkE6SolveRenaming(b *testing.B)  { benchExperiment(b, "E6", exp.E6SolveRenaming) }
+func BenchmarkE7Extraction(b *testing.B)     { benchExperiment(b, "E7", exp.E7Extraction) }
+func BenchmarkE8Puzzle(b *testing.B)         { benchExperiment(b, "E8", exp.E8Puzzle) }
+func BenchmarkE9StrongRenaming(b *testing.B) { benchExperiment(b, "E9", exp.E9StrongRenaming) }
+func BenchmarkE10RenamingSweep(b *testing.B) { benchExperiment(b, "E10", exp.E10RenamingSweep) }
+func BenchmarkE11Hierarchy(b *testing.B)     { benchExperiment(b, "E11", exp.E11Hierarchy) }
+func BenchmarkE12BG(b *testing.B)            { benchExperiment(b, "E12", exp.E12BG) }
+
+// BenchmarkRuntimeStep measures the raw cost of one scheduled shared-memory
+// step in the lockstep runtime.
+func BenchmarkRuntimeStep(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			inputs := wfadvice.NewVector(n)
+			for i := range inputs {
+				inputs[i] = i
+			}
+			cfg := wfadvice.Config{
+				NC: n, Inputs: inputs,
+				CBody: func(i int) wfadvice.Body {
+					return func(e *wfadvice.Env) {
+						for {
+							e.Read("x")
+						}
+					}
+				},
+				Pattern:  wfadvice.FailureFree(0),
+				MaxSteps: b.N + 1,
+			}
+			rt, err := wfadvice.NewRuntime(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			rt.Run(&wfadvice.RoundRobin{})
+		})
+	}
+}
+
+// BenchmarkConsensusDecide measures a full consensus decision (direct Ω
+// solver) as a function of system size.
+func BenchmarkConsensusDecide(b *testing.B) {
+	for _, n := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pattern := wfadvice.FailureFree(n)
+				solver := wfadvice.DirectConfig{NC: n, NS: n, K: 1, LeaderVec: wfadvice.OmegaLeader}
+				inputs := wfadvice.NewVector(n)
+				for j := range inputs {
+					inputs[j] = j
+				}
+				cfg := wfadvice.Config{
+					NC: n, NS: n, Inputs: inputs,
+					CBody:    solver.DirectCBody,
+					SBody:    solver.DirectSBody,
+					Pattern:  pattern,
+					History:  wfadvice.Omega{}.History(pattern, 100, int64(i)),
+					MaxSteps: 1_000_000,
+				}
+				rt, err := wfadvice.NewRuntime(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := rt.Run(&wfadvice.StopWhenDecided{Inner: &wfadvice.RoundRobin{}})
+				if err := wfadvice.DecidedAll(res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBGStep measures BG simulation throughput (simulator steps over
+// clock codes).
+func BenchmarkBGStep(b *testing.B) {
+	for _, tc := range []struct{ m, n int }{{2, 4}, {4, 8}} {
+		b.Run(fmt.Sprintf("m=%d,n=%d", tc.m, tc.n), func(b *testing.B) {
+			sched := make([]int, b.N)
+			for i := range sched {
+				sched[i] = i % tc.m
+			}
+			b.ResetTimer()
+			if _, _, _, err := wfadvice.RunBG(tc.m, tc.n,
+				func(int) wfadvice.Automaton { return benchClock() }, sched); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+type clock struct{ ticks int }
+
+func (c *clock) WriteValue() any      { return c.ticks }
+func (c *clock) OnView(view []any)    { c.ticks++ }
+func (c *clock) Decided() (any, bool) { return nil, false }
+func benchClock() wfadvice.Automaton  { return &clock{} }

@@ -1,0 +1,53 @@
+// Command efd-bench regenerates every experiment table in EXPERIMENTS.md
+// (E1–E12), each validating one proposition, theorem or algorithm figure of
+// "Wait-Freedom with Advice".
+//
+// Usage:
+//
+//	efd-bench [-only E5,E7] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wfadvice/internal/exp"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	runners := exp.All()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	failures := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl := r.Run()
+		fmt.Print(tbl.Render())
+		fmt.Printf("   elapsed: %.1fs\n\n", time.Since(start).Seconds())
+		failures += tbl.Failures
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "efd-bench: %d failures\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,19 @@
+// Command efd-hierarchy prints the Theorem 10 classification of the task
+// zoo: for each task, its maximal concurrency level k and the weakest
+// failure detector ¬Ωk that solves it in EFD.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wfadvice/internal/exp"
+)
+
+func main() {
+	tbl := exp.E11Hierarchy()
+	fmt.Print(tbl.Render())
+	if tbl.Failures > 0 {
+		os.Exit(1)
+	}
+}

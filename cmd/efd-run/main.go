@@ -1,0 +1,136 @@
+// Command efd-run executes one EFD scenario from flags: a task, a detector,
+// an environment and a scheduler, printing the run's outcome and the
+// analyzer verdicts.
+//
+// Usage examples:
+//
+//	efd-run -task consensus -n 4 -detector omega -seed 3
+//	efd-run -task kset -k 2 -n 5 -detector vector -crash 2 -pause-p1 50000
+//	efd-run -task renaming -j 4 -k 2 -n 5 -detector vector -solver machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wfadvice/internal/auto"
+	"wfadvice/internal/core"
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/ids"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/task"
+	"wfadvice/internal/vec"
+	"wfadvice/internal/wfree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("efd-run: ")
+	var (
+		taskName = flag.String("task", "consensus", "task: consensus | kset | renaming")
+		n        = flag.Int("n", 4, "number of C-processes (= S-processes)")
+		k        = flag.Int("k", 1, "agreement bound / concurrency level")
+		j        = flag.Int("j", 3, "renaming participants")
+		detector = flag.String("detector", "omega", "detector: omega | vector | trivial")
+		solver   = flag.String("solver", "direct", "solver: direct | machine")
+		crash    = flag.Int("crash", 0, "number of S-processes to crash")
+		pauseP1  = flag.Int("pause-p1", 0, "pause p1 for this many steps (wait-freedom demo)")
+		seed     = flag.Int64("seed", 1, "scheduler and history seed")
+		maxSteps = flag.Int("max-steps", 3_000_000, "step budget")
+	)
+	flag.Parse()
+
+	crashAt := map[int]int{}
+	for c := 0; c < *crash && c < *n-1; c++ {
+		crashAt[*n-1-c] = 100 * (c + 1)
+	}
+	pat := fdet.NewPattern(*n, crashAt)
+
+	var hist fdet.History
+	var leaderVec func(sim.Value) []int
+	switch *detector {
+	case "omega":
+		hist = fdet.Omega{}.History(pat, 200, *seed)
+		leaderVec = core.OmegaLeader
+		*k = 1
+	case "vector":
+		hist = fdet.VectorOmegaK{K: *k, GoodPos: 0}.History(pat, 300, *seed)
+		leaderVec = core.VectorLeader
+	case "trivial":
+		hist = fdet.Trivial{}.History(pat, 0, *seed)
+	default:
+		log.Fatalf("unknown detector %q", *detector)
+	}
+
+	var tk task.Task
+	inputs := vec.New(*n)
+	switch *taskName {
+	case "consensus":
+		tk = task.NewConsensus(*n)
+		for i := range inputs {
+			inputs[i] = 100 + i
+		}
+	case "kset":
+		tk = task.NewSetAgreement(*n, *k)
+		for i := range inputs {
+			inputs[i] = 100 + i
+		}
+	case "renaming":
+		tk = task.NewRenaming(*n, *j, *j+*k-1)
+		for i := 0; i < *j; i++ {
+			inputs[i] = i + 1
+		}
+	default:
+		log.Fatalf("unknown task %q", *taskName)
+	}
+
+	cfg := sim.Config{
+		NC: *n, NS: *n, Inputs: inputs,
+		Pattern: pat, History: hist, MaxSteps: *maxSteps,
+	}
+	switch *solver {
+	case "direct":
+		dc := core.DirectConfig{NC: *n, NS: *n, K: *k, LeaderVec: leaderVec}
+		cfg.CBody, cfg.SBody = dc.DirectCBody, dc.DirectSBody
+	case "machine":
+		factory := func(i int, input sim.Value) auto.Automaton { return wfree.NewKSet(i, input) }
+		if *taskName == "renaming" {
+			factory = func(i int, _ sim.Value) auto.Automaton { return wfree.NewRenaming(i) }
+		}
+		mc := core.MachineConfig{NC: *n, NS: *n, K: *k, Factory: factory}
+		cfg.CBody, cfg.SBody = mc.SolverCBody, mc.SolverSBody
+	default:
+		log.Fatalf("unknown solver %q", *solver)
+	}
+
+	rt, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sched sim.Scheduler = sim.NewRandom(*seed)
+	if *pauseP1 > 0 {
+		sched = &sim.PauseWindow{Proc: ids.C(0), From: 10, To: 10 + *pauseP1, Inner: sched}
+	}
+	res := rt.Run(&sim.StopWhenDecided{Inner: sched})
+
+	fmt.Printf("task:      %s\n", tk.Name())
+	fmt.Printf("pattern:   %v\n", pat)
+	fmt.Printf("steps:     %d (%v)\n", res.Steps, res.Reason)
+	fmt.Printf("inputs:    %v\n", res.Inputs)
+	fmt.Printf("outputs:   %v\n", res.Outputs)
+	fmt.Printf("decided:   %v\n", ok(sim.DecidedAll(res)))
+	fmt.Printf("valid ∆:   %v\n", ok(sim.CheckTask(tk, res)))
+	fmt.Printf("conc:      %d\n", sim.MaxConcurrency(res))
+	if err := sim.DecidedAll(res); err != nil {
+		os.Exit(1)
+	}
+}
+
+func ok(err error) string {
+	if err != nil {
+		return "NO — " + err.Error()
+	}
+	return "yes"
+}

@@ -1,0 +1,58 @@
+// Quickstart: wait-free consensus with Ω advice.
+//
+// Four computation processes propose values and must all decide the same
+// proposed value — consensus, which is famously unsolvable wait-free. Four
+// synchronization processes query an Ω failure detector and do the
+// synchronization work; the computation processes only publish their inputs
+// and poll for the decision, so each of them decides after a bounded number
+// of its own steps no matter what the other computation processes do. To
+// prove the point, the run pauses p1 for 100k steps: the others decide
+// meanwhile, and p1 decides right after waking up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wfadvice"
+)
+
+func main() {
+	const n = 4
+	pattern := wfadvice.FailureFree(n)
+	detector := wfadvice.Omega{}
+
+	solver := wfadvice.DirectConfig{NC: n, NS: n, K: 1, LeaderVec: wfadvice.OmegaLeader}
+	cfg := wfadvice.Config{
+		NC:       n,
+		NS:       n,
+		Inputs:   wfadvice.VectorOf("ann", "bob", "cat", "dan"),
+		CBody:    solver.DirectCBody,
+		SBody:    solver.DirectSBody,
+		Pattern:  pattern,
+		History:  detector.History(pattern, 200, 42),
+		MaxSteps: 2_000_000,
+	}
+	rt, err := wfadvice.NewRuntime(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Adversary: pause p1 for a long window; fairness only for S-processes.
+	sched := &wfadvice.PauseWindow{
+		Proc: wfadvice.C(0), From: 10, To: 100_000,
+		Inner: &wfadvice.RoundRobin{},
+	}
+	res := rt.Run(&wfadvice.StopWhenDecided{Inner: sched})
+
+	fmt.Println("inputs: ", res.Inputs)
+	fmt.Println("outputs:", res.Outputs)
+	fmt.Println("steps:  ", res.Steps)
+	if err := wfadvice.DecidedAll(res); err != nil {
+		log.Fatalf("not wait-free: %v", err)
+	}
+	if err := wfadvice.CheckTask(wfadvice.NewConsensus(n), res); err != nil {
+		log.Fatalf("consensus violated: %v", err)
+	}
+	fmt.Println("consensus reached wait-free: every pauser catches up, nobody waits on anybody")
+}

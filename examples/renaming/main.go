@@ -1,0 +1,104 @@
+// Renaming: the §5 story in two acts.
+//
+// Act 1 — the Figure 4 algorithm run k-concurrently for increasing k: the
+// name space grows exactly along the paper's diagonal j+k−1, and the k = j
+// column reproduces the classic wait-free (j, 2j−1)-renaming.
+//
+// Act 2 — the generic Theorem 9 solver simulates Figure 4 with vector-Ωk
+// advice, yielding (j, j+k−1)-renaming in EFD (Theorem 16): j of n processes
+// grab distinct small names, wait-free.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wfadvice"
+)
+
+func act1(j int) {
+	fmt.Printf("Figure 4, j=%d participants:\n", j)
+	for k := 1; k <= j; k++ {
+		maxName := 0
+		for seed := int64(0); seed < 30; seed++ {
+			autos := make([]wfadvice.Automaton, j)
+			for i := range autos {
+				autos[i] = wfadvice.NewRenamingFig4(i)
+			}
+			sys := wfadvice.NewAutoSystem(autos)
+			runKConcurrent(sys, j, k, seed)
+			for i := 0; i < j; i++ {
+				if d, ok := sys.Decided(i); ok {
+					if name := d.(int); name > maxName {
+						maxName = name
+					}
+				}
+			}
+		}
+		fmt.Printf("  k=%d: max name over 30 runs = %d (paper bound j+k-1 = %d)\n",
+			k, maxName, j+k-1)
+	}
+}
+
+func runKConcurrent(sys *wfadvice.AutoSystem, n, k int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var admitted []int
+	next := 0
+	for steps := 0; steps < 100_000; steps++ {
+		var undecided []int
+		for _, i := range admitted {
+			if _, ok := sys.Decided(i); !ok {
+				undecided = append(undecided, i)
+			}
+		}
+		for len(undecided) < k && next < n {
+			admitted = append(admitted, next)
+			undecided = append(undecided, next)
+			next++
+		}
+		if len(undecided) == 0 {
+			return
+		}
+		sys.Step(undecided[rng.Intn(len(undecided))])
+	}
+}
+
+func act2(n, j, k int) {
+	fmt.Printf("\nTheorem 16: (%d,%d)-renaming with vector-Ω%d advice on %d processes\n",
+		j, j+k-1, k, n)
+	machine := wfadvice.MachineConfig{
+		NC: n, NS: n, K: k,
+		Factory: func(i int, _ any) wfadvice.Automaton { return wfadvice.NewRenamingFig4(i) },
+	}
+	pattern := wfadvice.FailureFree(n)
+	inputs := wfadvice.NewVector(n)
+	for i := 0; i < j; i++ {
+		inputs[i] = i + 1
+	}
+	cfg := wfadvice.Config{
+		NC: n, NS: n, Inputs: inputs,
+		CBody:    machine.SolverCBody,
+		SBody:    machine.SolverSBody,
+		Pattern:  pattern,
+		History:  wfadvice.VectorOmegaK{K: k, GoodPos: 0}.History(pattern, 300, 7),
+		MaxSteps: 6_000_000,
+	}
+	rt, err := wfadvice.NewRuntime(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rt.Run(&wfadvice.StopWhenDecided{Inner: &wfadvice.RoundRobin{}})
+	if err := wfadvice.DecidedAll(res); err != nil {
+		log.Fatal(err)
+	}
+	if err := wfadvice.CheckTask(wfadvice.NewRenaming(n, j, j+k-1), res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  names: %v  (distinct, all ≤ %d)\n", res.Outputs, j+k-1)
+}
+
+func main() {
+	act1(4)
+	act2(5, 4, 2)
+}

@@ -1,0 +1,92 @@
+// Separation (§2.3): classically solvable is weaker than EFD-solvable.
+//
+// The FirstAlive detector outputs q1 while q1 is correct and q2 otherwise.
+// In the conventional model — where computation process p_i lives exactly as
+// long as its synchronization twin q_i — it solves consensus between p1 and
+// p2. In the EFD model it does not: knowing q1 is alive says nothing about
+// whether p1 will ever take another step, and an honest run shows p2 waiting
+// forever. This is the paper's concrete witness that wait-freedom with
+// advice asks strictly more of a failure detector.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wfadvice"
+)
+
+func run(pat wfadvice.Pattern, sched wfadvice.Scheduler) *wfadvice.Result {
+	cfg := wfadvice.Config{
+		NC: 2, NS: 2,
+		Inputs:   wfadvice.VectorOf("alpha", "beta"),
+		CBody:    separationCBody,
+		SBody:    separationSBody,
+		Pattern:  pat,
+		History:  wfadvice.FirstAlive{}.History(pat, 0, 1),
+		MaxSteps: 60_000,
+	}
+	rt, err := wfadvice.NewRuntime(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rt.Run(sched)
+}
+
+func main() {
+	show := func(v any) string {
+		if v == nil {
+			return "⊥ (undecided)"
+		}
+		return fmt.Sprint(v)
+	}
+
+	fmt.Println("classical model (personified runs):")
+	for name, pat := range map[string]wfadvice.Pattern{
+		"q1 correct": wfadvice.FailureFree(2),
+		"q1 crashes": wfadvice.NewPattern(2, map[int]int{0: 0}),
+	} {
+		res := run(pat, &wfadvice.StopWhenDecided{
+			Inner: &wfadvice.Personified{Pattern: pat, Inner: &wfadvice.RoundRobin{}}})
+		fmt.Printf("  %-10s  p1=%v  p2=%v\n", name, show(res.Outputs[0]), show(res.Outputs[1]))
+		if err := wfadvice.CheckTask(wfadvice.NewSubsetAgreement(2, 1, []int{0, 1}), res); err != nil {
+			log.Fatalf("classical run violated consensus: %v", err)
+		}
+	}
+
+	fmt.Println("EFD model (fair run, p1 stops taking steps while q1 stays correct):")
+	pat := wfadvice.FailureFree(2)
+	res := run(pat, &wfadvice.Exclude{Procs: []wfadvice.Proc{wfadvice.C(0)}, Inner: &wfadvice.RoundRobin{}})
+	fmt.Printf("  p1=%v  p2=%v after %d steps\n", show(res.Outputs[0]), show(res.Outputs[1]), res.Steps)
+	if res.Outputs[1] == nil {
+		fmt.Println("  p2 starved: FirstAlive does NOT EFD-solve 2-process consensus (Prop 3 is strict)")
+	} else {
+		log.Fatal("unexpected: p2 decided")
+	}
+}
+
+// The algorithm bodies mirror internal/core/separation.go through the public
+// runtime API, so the example is fully self-contained.
+func separationCBody(i int) wfadvice.Body {
+	return func(e *wfadvice.Env) {
+		e.Write(wfadvice.InKey(i), e.Input())
+		for {
+			target, ok := e.Read("fa").(int)
+			if !ok {
+				continue
+			}
+			if v := e.Read(wfadvice.InKey(target)); v != nil {
+				e.Decide(v)
+				return
+			}
+		}
+	}
+}
+
+func separationSBody(_ int) wfadvice.Body {
+	return func(e *wfadvice.Env) {
+		for {
+			e.Write("fa", e.QueryFD())
+		}
+	}
+}

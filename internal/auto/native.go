@@ -1,0 +1,39 @@
+package auto
+
+import (
+	"fmt"
+
+	"wfadvice/internal/sim"
+)
+
+// RegKey returns the shared-memory key of slot i's register in table.
+func RegKey(table string, i int) string { return fmt.Sprintf("%s/%d", table, i) }
+
+// RunOnEnv executes automaton a as C-process slot me of an n-slot table over
+// the real runtime: each step writes the automaton's register and then
+// performs n individual reads to build the collect. When the automaton
+// decides, the process decides and returns. This is the adapter that turns a
+// restricted algorithm (§2.2) into a body for the sim runtime.
+func RunOnEnv(e *sim.Env, table string, n, me int, a Automaton) {
+	for {
+		if d, ok := a.Decided(); ok {
+			e.Decide(d)
+			return
+		}
+		e.Write(RegKey(table, me), a.WriteValue())
+		view := make(View, n)
+		for j := 0; j < n; j++ {
+			view[j] = e.Read(RegKey(table, j))
+		}
+		a.OnView(view)
+	}
+}
+
+// Body returns a sim.Body running automaton factory(i, input) on the table.
+func Body(table string, n int, factory func(i int, input sim.Value) Automaton) func(i int) sim.Body {
+	return func(i int) sim.Body {
+		return func(e *sim.Env) {
+			RunOnEnv(e, table, n, i, factory(i, e.Input()))
+		}
+	}
+}

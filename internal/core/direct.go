@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"wfadvice/internal/paxos"
+	"wfadvice/internal/sim"
+)
+
+// This file implements the direct agreement solver: k-set agreement from
+// vector-Ωk advice (and consensus from Ω as the k = 1 case). It is the
+// simplest complete instance of the paper's programme — C-processes are
+// fully wait-free (they only publish inputs and poll decisions), while the
+// S-processes do all the synchronization work, driving k parallel
+// leader-based consensus instances with their failure-detector advice. Each
+// instance decides at most one (proposed) value, so at most k distinct
+// values are decided; the one stabilized vector position guarantees at least
+// one instance decides in every fair run.
+
+// DirectConfig configures the solver.
+type DirectConfig struct {
+	NC, NS int
+	K      int
+	// LeaderVec extracts a position→S-process vector of length K from a raw
+	// failure-detector value. VectorLeader handles vector-Ωk; OmegaLeader
+	// adapts Ω for K = 1.
+	LeaderVec func(v sim.Value) []int
+}
+
+// VectorLeader interprets detector values as []int vectors (vector-Ωk).
+func VectorLeader(v sim.Value) []int {
+	if xs, ok := v.([]int); ok {
+		return xs
+	}
+	return nil
+}
+
+// OmegaLeader interprets detector values as single leaders (Ω), yielding a
+// 1-vector.
+func OmegaLeader(v sim.Value) []int {
+	if x, ok := v.(int); ok {
+		return []int{x}
+	}
+	return nil
+}
+
+func consKey(j int) string { return fmt.Sprintf("cons/%d", j) }
+
+// DirectCBody returns the C-process body: publish the input, then poll the k
+// decision registers round-robin and decide the first decided value. The
+// body takes no synchronization steps at all — wait-freedom is structural.
+func (c DirectConfig) DirectCBody(i int) sim.Body {
+	return func(e *sim.Env) {
+		e.Write(InKey(i), e.Input())
+		for j := 0; ; j = (j + 1) % c.K {
+			if v, ok := paxos.PollDecision(e, consKey(j)); ok {
+				e.Decide(v)
+				return
+			}
+		}
+	}
+}
+
+// DirectSBody returns the S-process body: repeatedly query the detector and
+// advance each consensus instance one operation, leading exactly the
+// instances whose vector position currently names this process. A proposal
+// is harvested from the input registers first.
+func (c DirectConfig) DirectSBody(me int) sim.Body {
+	return func(e *sim.Env) {
+		props := make([]*paxos.Proposer, c.K)
+		for j := range props {
+			props[j] = paxos.NewProposer(consKey(j), me, c.NS, nil)
+		}
+		scan := 0
+		var proposal sim.Value
+		for {
+			lv := c.LeaderVec(e.QueryFD())
+			if proposal == nil {
+				proposal = e.Read(InKey(scan % c.NC))
+				scan++
+				if proposal != nil {
+					for _, p := range props {
+						p.SetProposal(proposal)
+					}
+				}
+				continue
+			}
+			for j := 0; j < c.K; j++ {
+				lead := j < len(lv) && lv[j] == me
+				props[j].StepOp(e, lead)
+			}
+		}
+	}
+}

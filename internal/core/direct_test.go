@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/ids"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/task"
+	"wfadvice/internal/vec"
+)
+
+func directRun(t *testing.T, nc, ns, k int, pat fdet.Pattern, det fdet.Detector, lv func(sim.Value) []int, sched sim.Scheduler, maxSteps int) *sim.Result {
+	t.Helper()
+	inputs := vec.New(nc)
+	for i := range inputs {
+		inputs[i] = 100 + i
+	}
+	dc := DirectConfig{NC: nc, NS: ns, K: k, LeaderVec: lv}
+	cfg := sim.Config{
+		NC:       nc,
+		NS:       ns,
+		Inputs:   inputs,
+		CBody:    dc.DirectCBody,
+		SBody:    dc.DirectSBody,
+		Pattern:  pat,
+		History:  det.History(pat, 200, 7),
+		MaxSteps: maxSteps,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Run(&sim.StopWhenDecided{Inner: sched})
+}
+
+func TestDirectConsensusWithOmega(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		pat := fdet.FailureFree(4)
+		res := directRun(t, 4, 4, 1, pat, fdet.Omega{}, OmegaLeader, sim.NewRandom(seed), 300_000)
+		if err := sim.DecidedAll(res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sim.CheckTask(task.NewConsensus(4), res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDirectKSetWithVectorOmega(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		for seed := int64(0); seed < 5; seed++ {
+			pat := fdet.FailureFree(5)
+			det := fdet.VectorOmegaK{K: k, GoodPos: int(seed) % k}
+			res := directRun(t, 5, 5, k, pat, det, VectorLeader, sim.NewRandom(seed), 500_000)
+			if err := sim.DecidedAll(res); err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			if err := sim.CheckTask(task.NewSetAgreement(5, k), res); err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+		}
+	}
+}
+
+func TestDirectToleratesSCrashes(t *testing.T) {
+	// Crash every S-process except the advised leader q1 (pattern leaves q1
+	// correct; min-correct leader is q1).
+	pat := fdet.NewPattern(4, map[int]int{1: 50, 2: 80, 3: 10})
+	res := directRun(t, 4, 4, 1, pat, fdet.Omega{}, OmegaLeader, &sim.RoundRobin{}, 300_000)
+	if err := sim.DecidedAll(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckTask(task.NewConsensus(4), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectWaitFreedomUnderCPause(t *testing.T) {
+	// Pause p1 for a long window: everyone else must decide meanwhile, and
+	// p1 must still decide after resuming — the headline wait-freedom claim.
+	pat := fdet.FailureFree(3)
+	inputs := vec.Of(1, 2, 3)
+	dc := DirectConfig{NC: 3, NS: 3, K: 1, LeaderVec: OmegaLeader}
+	cfg := sim.Config{
+		NC: 3, NS: 3, Inputs: inputs,
+		CBody:    dc.DirectCBody,
+		SBody:    dc.DirectSBody,
+		Pattern:  pat,
+		History:  fdet.Omega{}.History(pat, 100, 3),
+		MaxSteps: 400_000,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &sim.PauseWindow{Proc: ids.C(0), From: 5, To: 150_000, Inner: &sim.RoundRobin{}}
+	res := rt.Run(&sim.StopWhenDecided{Inner: sched})
+	if err := sim.DecidedAll(res); err != nil {
+		t.Fatal(err)
+	}
+	// p2 and p3 must have decided while p1 was paused.
+	for _, e := range res.Trace {
+		if e.Kind == sim.OpDecide && e.Proc != ids.C(0) && e.Step >= 150_000 {
+			t.Fatalf("%v decided only after the pause window", e.Proc)
+		}
+	}
+	if err := sim.CheckTask(task.NewConsensus(3), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSHelperSetAgreement(t *testing.T) {
+	// Proposition 2 discussion: n S-processes solve n-set agreement with the
+	// trivial detector, under any crashes that leave one S-process correct.
+	for _, ns := range []int{1, 2, 3} {
+		nc := 5
+		pat := fdet.NewPattern(ns, map[int]int{})
+		if ns > 1 {
+			pat = fdet.NewPattern(ns, map[int]int{0: 20})
+		}
+		inputs := vec.New(nc)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		sh := SHelperConfig{NC: nc, NS: ns}
+		cfg := sim.Config{
+			NC: nc, NS: ns, Inputs: inputs,
+			CBody:    sh.SHelperCBody,
+			SBody:    sh.SHelperSBody,
+			Pattern:  pat,
+			History:  fdet.Trivial{}.History(pat, 0, 1),
+			MaxSteps: 100_000,
+		}
+		rt, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run(&sim.StopWhenDecided{Inner: &sim.RoundRobin{}})
+		if err := sim.DecidedAll(res); err != nil {
+			t.Fatalf("ns=%d: %v", ns, err)
+		}
+		if err := sim.CheckTask(task.NewSetAgreement(nc, ns), res); err != nil {
+			t.Fatalf("ns=%d: %v", ns, err)
+		}
+	}
+}
+
+func TestSeparationClassicalVsEFD(t *testing.T) {
+	consensus2 := task.NewSubsetAgreement(2, 1, []int{0, 1})
+
+	// Classical solvability: personified fair runs decide and agree, both
+	// when q1 is correct and when q1 crashes (taking p1 with it).
+	for name, pat := range map[string]fdet.Pattern{
+		"q1-correct": fdet.FailureFree(2),
+		"q1-faulty":  fdet.NewPattern(2, map[int]int{0: 0}),
+	} {
+		cfg := sim.Config{
+			NC: 2, NS: 2, Inputs: vec.Of("a", "b"),
+			CBody:    SeparationCBody,
+			SBody:    SeparationSBody,
+			Pattern:  pat,
+			History:  fdet.FirstAlive{}.History(pat, 0, 1),
+			MaxSteps: 50_000,
+		}
+		rt, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run(&sim.StopWhenDecided{Inner: &sim.Personified{Pattern: pat, Inner: &sim.RoundRobin{}}})
+		if err := sim.CheckTask(consensus2, res); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Every C-process that kept taking steps must have decided.
+		if err := sim.CheckWaitFree(res, 1000); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	// EFD failure witness: q1 correct, but p1 stops taking steps. p2 runs
+	// forever and never decides — the algorithm does not EFD-solve the task.
+	pat := fdet.FailureFree(2)
+	cfg := sim.Config{
+		NC: 2, NS: 2, Inputs: vec.Of("a", "b"),
+		CBody:    SeparationCBody,
+		SBody:    SeparationSBody,
+		Pattern:  pat,
+		History:  fdet.FirstAlive{}.History(pat, 0, 1),
+		MaxSteps: 50_000,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(&sim.Exclude{Procs: []ids.Proc{ids.C(0)}, Inner: &sim.RoundRobin{}})
+	if res.Outputs[1] != nil {
+		t.Fatal("p2 decided although p1's input never appeared; witness broken")
+	}
+	if err := sim.CheckWaitFree(res, 1000); err == nil {
+		t.Fatal("expected a wait-freedom violation witness, got none")
+	}
+}

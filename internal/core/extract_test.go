@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/vec"
+)
+
+// buildDAG samples a pinned vector-Ωk history into a DAG, as the reduction's
+// first component would.
+func buildDAG(n, k int, pat fdet.Pattern, samples int) (*fdet.DAG, fdet.VectorOmegaK) {
+	det := fdet.VectorOmegaK{K: k, GoodPos: 0, Pinned: true}
+	h := det.History(pat, 0, 1) // stabilized from the start (no noise)
+	return fdet.BuildDAG(pat, h, fdet.RoundRobinSchedule(n, samples)), det
+}
+
+func TestAsimFairSimulationDecides(t *testing.T) {
+	// Sanity: with all C-simulators running round-robin, the simulated
+	// algorithm decides — Asim faithfully reproduces fair runs of A.
+	for _, k := range []int{1, 2} {
+		n := 4
+		pat := fdet.FailureFree(n)
+		dag, _ := buildDAG(n, k, pat, 40_000)
+		inputs := vec.New(n)
+		for i := range inputs {
+			inputs[i] = 10 + i
+		}
+		m := NewAsimMachine(DirectSimAlg{NC: n, K: k}, inputs, dag)
+		for step := 0; step < 200_000; step++ {
+			m.StepC(step % n)
+			all := true
+			for i := 0; i < n; i++ {
+				if _, ok := m.Decided(i); !ok {
+					all = false
+				}
+			}
+			if all {
+				break
+			}
+		}
+		vals := make(map[any]bool)
+		for i := 0; i < n; i++ {
+			d, ok := m.Decided(i)
+			if !ok {
+				t.Fatalf("k=%d: p%d undecided in fair simulation", k, i+1)
+			}
+			vals[d] = true
+		}
+		if len(vals) > k {
+			t.Fatalf("k=%d: %d distinct simulated decisions", k, len(vals))
+		}
+	}
+}
+
+func TestExtractWitnessEmulatesAntiOmega(t *testing.T) {
+	// Theorem 8's mechanism: the guided never-deciding (k+1)-concurrent run
+	// yields an output stream whose suffix excludes a correct S-process.
+	for _, k := range []int{1, 2} {
+		n := 4
+		pat := fdet.FailureFree(n)
+		dag, det := buildDAG(n, k, pat, 60_000)
+		inputs := vec.New(n)
+		for i := range inputs {
+			inputs[i] = 10 + i
+		}
+		res, err := ExtractWitness(WitnessConfig{
+			Alg:     DirectSimAlg{NC: n, K: k},
+			K:       k,
+			DAG:     dag,
+			Leaders: det.PinnedLeaders(pat)[:k],
+			Inputs:  inputs,
+		})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Decided != 0 {
+			t.Fatalf("k=%d: witness run decided %d processes, want none", k, res.Decided)
+		}
+		if err := CheckAntiOmegaStream(res, pat, 0.5); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// The blocked leaders must be among the eventually-never-output.
+		tail := res.Samples[len(res.Samples)/2:]
+		for _, q := range res.BlockedS {
+			for _, s := range tail {
+				for _, x := range s.Set {
+					if x == q {
+						t.Fatalf("k=%d: blocked q%d still appears in the tail", k, q+1)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExploreCorridorsStructure(t *testing.T) {
+	// Bounded Figure 1 DFS: simulated runs stay (k+1)-concurrent, outputs
+	// are well-formed, and the deciding corridors do decide.
+	n, k := 3, 1
+	pat := fdet.FailureFree(n)
+	dag, _ := buildDAG(n, k, pat, 40_000)
+	inputs := vec.New(n)
+	for i := range inputs {
+		inputs[i] = 10 + i
+	}
+	res, maxConc, err := ExploreCorridors(ExploreConfig{
+		Alg:        DirectSimAlg{NC: n, K: k},
+		K:          k,
+		DAG:        dag,
+		Inputs:     []vec.Vector{inputs},
+		StepBudget: 150_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxConc > k+1 {
+		t.Fatalf("simulated concurrency %d exceeds k+1=%d", maxConc, k+1)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no outputs emitted")
+	}
+	for _, s := range res.Samples {
+		if len(s.Set) != n-k {
+			t.Fatalf("output %v has %d ids, want n-k=%d", s.Set, len(s.Set), n-k)
+		}
+		for _, q := range s.Set {
+			if q < 0 || q >= n {
+				t.Fatalf("output id %d out of range", q)
+			}
+		}
+	}
+	if res.Decided == 0 {
+		t.Fatal("no corridor decided; solo corridors must decide")
+	}
+}

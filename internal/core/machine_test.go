@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"wfadvice/internal/auto"
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/ids"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/task"
+	"wfadvice/internal/vec"
+	"wfadvice/internal/wfree"
+)
+
+func solverRun(t *testing.T, nc, ns, k int, factory func(int, sim.Value) auto.Automaton,
+	inputs vec.Vector, pat fdet.Pattern, good int, seed int64, maxSteps int, sched sim.Scheduler) *sim.Result {
+	t.Helper()
+	mc := MachineConfig{NC: nc, NS: ns, K: k, Factory: factory}
+	cfg := sim.Config{
+		NC: nc, NS: ns, Inputs: inputs,
+		CBody:    mc.SolverCBody,
+		SBody:    mc.SolverSBody,
+		Pattern:  pat,
+		History:  fdet.VectorOmegaK{K: k, GoodPos: good}.History(pat, 300, seed),
+		MaxSteps: maxSteps,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched == nil {
+		sched = &sim.RoundRobin{}
+	}
+	return rt.Run(&sim.StopWhenDecided{Inner: sched})
+}
+
+func ksetFactory(i int, input sim.Value) auto.Automaton { return wfree.NewKSet(i, input) }
+
+func renamingFactory(i int, _ sim.Value) auto.Automaton { return wfree.NewRenaming(i) }
+
+func TestSolverKSetAgreement(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		for seed := int64(0); seed < 3; seed++ {
+			nc := 4
+			inputs := vec.New(nc)
+			for i := range inputs {
+				inputs[i] = 10 + i
+			}
+			res := solverRun(t, nc, nc, k, ksetFactory, inputs, fdet.FailureFree(nc),
+				int(seed)%k, seed, 3_000_000, sim.NewRandom(seed))
+			if err := sim.DecidedAll(res); err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			if err := sim.CheckTask(task.NewSetAgreement(nc, k), res); err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			// The simulated run must itself have been k-concurrent.
+			mc := MachineConfig{NC: nc, NS: nc, K: k, Factory: ksetFactory}
+			tr := mc.Replay(res.FinalStore)
+			if b := tr.ConcurrencyBound(); b > k {
+				t.Fatalf("k=%d seed=%d: simulated concurrency bound %d > k", k, seed, b)
+			}
+		}
+	}
+}
+
+func TestSolverRenaming(t *testing.T) {
+	// Theorem 16: (j, j+k−1)-renaming with vector-Ωk; j participants out of
+	// n C-processes.
+	nc, j, k := 5, 4, 2
+	inputs := vec.New(nc)
+	for i := 0; i < j; i++ {
+		inputs[i] = i + 1 // identities; the last process stays out
+	}
+	res := solverRun(t, nc, nc, k, renamingFactory, inputs, fdet.FailureFree(nc),
+		0, 11, 4_000_000, nil)
+	if err := sim.DecidedAll(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckTask(task.NewRenaming(nc, j, j+k-1), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverToleratesSCrashes(t *testing.T) {
+	nc, k := 3, 1
+	inputs := vec.Of(5, 6, 7)
+	// q2, q3 crash; q1 is the stabilized leader.
+	pat := fdet.NewPattern(3, map[int]int{1: 100, 2: 400})
+	res := solverRun(t, nc, 3, k, ksetFactory, inputs, pat, 0, 21, 3_000_000, nil)
+	if err := sim.DecidedAll(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckTask(task.NewConsensus(nc), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverWaitFreeUnderCPause(t *testing.T) {
+	// Pause p1 for a long window: its code is driven by the others, so when
+	// it resumes it finds the decision; meanwhile the rest decide.
+	nc, k := 3, 2
+	inputs := vec.Of(1, 2, 3)
+	mc := MachineConfig{NC: nc, NS: nc, K: k, Factory: ksetFactory}
+	pat := fdet.FailureFree(nc)
+	cfg := sim.Config{
+		NC: nc, NS: nc, Inputs: inputs,
+		CBody:    mc.SolverCBody,
+		SBody:    mc.SolverSBody,
+		Pattern:  pat,
+		History:  fdet.VectorOmegaK{K: k, GoodPos: 1}.History(pat, 300, 5),
+		MaxSteps: 5_000_000,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pauseEnd = 400_000
+	sched := &sim.PauseWindow{Proc: ids.C(0), From: 10, To: pauseEnd, Inner: &sim.RoundRobin{}}
+	res := rt.Run(&sim.StopWhenDecided{Inner: sched})
+	if err := sim.DecidedAll(res); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < nc; i++ {
+		for _, e := range res.Trace {
+			if e.Kind == sim.OpDecide && e.Proc == ids.C(i) && e.Step >= pauseEnd {
+				t.Fatalf("p%d decided only after the pause window", i+1)
+			}
+		}
+	}
+	if err := sim.CheckTask(task.NewSetAgreement(nc, k), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLanesTheorem14(t *testing.T) {
+	// Figure 2 / Theorem 14: simulate K clock codes; with ℓ participating
+	// simulators, at most min(K, ℓ) codes take steps and at least one makes
+	// unbounded progress (the stabilized vector position's code).
+	for _, tc := range []struct{ nc, k, ell int }{
+		{4, 2, 4}, // ℓ > k: positions ruled by vector-Ωk
+		{4, 2, 1}, // ℓ ≤ k: smallest participants lead
+		{5, 3, 2},
+	} {
+		inputs := vec.New(tc.nc)
+		for i := 0; i < tc.ell; i++ {
+			inputs[i] = 1 // participation token
+		}
+		mc := MachineConfig{NC: tc.nc, NS: tc.nc, K: tc.k, Lanes: true,
+			Factory: func(i int, _ sim.Value) auto.Automaton { return auto.NewClock() }}
+		pat := fdet.FailureFree(tc.nc)
+		cfg := sim.Config{
+			NC: tc.nc, NS: tc.nc, Inputs: inputs,
+			CBody:    mc.LanesCBody,
+			SBody:    mc.LanesSBody,
+			Pattern:  pat,
+			History:  fdet.VectorOmegaK{K: tc.k, GoodPos: 0}.History(pat, 200, 3),
+			MaxSteps: 400_000,
+		}
+		rt, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run(&sim.RoundRobin{})
+		tr := mc.Replay(res.FinalStore)
+		limit := tc.k
+		if tc.ell < limit {
+			limit = tc.ell
+		}
+		progressed := 0
+		for a, s := range tr.CellSteps {
+			if a >= limit && s > 0 {
+				t.Fatalf("nc=%d k=%d ell=%d: code %d beyond min(k,ℓ)=%d took %d steps",
+					tc.nc, tc.k, tc.ell, a, limit, s)
+			}
+			if s > 0 {
+				progressed++
+			}
+		}
+		if progressed == 0 {
+			t.Fatalf("nc=%d k=%d ell=%d: no simulated code progressed", tc.nc, tc.k, tc.ell)
+		}
+		best := 0
+		for _, s := range tr.CellSteps {
+			if s > best {
+				best = s
+			}
+		}
+		if best < 50 {
+			t.Fatalf("nc=%d k=%d ell=%d: best code advanced only %d steps", tc.nc, tc.k, tc.ell, best)
+		}
+	}
+}

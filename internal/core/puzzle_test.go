@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"wfadvice/internal/sim"
+	"wfadvice/internal/task"
+	"wfadvice/internal/wfree"
+)
+
+func TestPuzzlePipeline(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{4, 1}, {5, 2}} {
+		rep, err := RunPuzzle(PuzzleConfig{N: tc.n, K: tc.k, Seed: int64(3 + tc.k)})
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if !rep.SubsetOK || !rep.ExtractionOK {
+			t.Fatalf("n=%d k=%d: stages incomplete: %+v", tc.n, tc.k, rep)
+		}
+		if err := sim.CheckTask(task.NewSetAgreement(tc.n, tc.k), rep.GlobalResult); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+	}
+}
+
+func TestVectorToAnti(t *testing.T) {
+	// The complement never contains a vector entry and has size n−k.
+	got := VectorToAnti(5, []int{1, 3})
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for _, q := range got {
+		if q == 1 || q == 3 {
+			t.Fatalf("vector entry %d leaked into the anti set %v", q, got)
+		}
+	}
+	// Duplicated vector entries still yield n−k distinct outsiders... here
+	// the set must simply avoid entry 2.
+	got = VectorToAnti(4, []int{2, 2})
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	for _, q := range got {
+		if q == 2 {
+			t.Fatalf("vector entry 2 leaked into %v", got)
+		}
+	}
+}
+
+func TestKSetViolationWitness(t *testing.T) {
+	// Used by E11: the hierarchy's "violated at k+1" column.
+	for _, k := range []int{1, 2, 3} {
+		w, err := wfree.KSetViolationAtKPlus1(k+2, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if w == "" {
+			t.Fatalf("k=%d: empty witness", k)
+		}
+	}
+}

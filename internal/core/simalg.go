@@ -1,0 +1,257 @@
+package core
+
+import (
+	"wfadvice/internal/auto"
+)
+
+// This file defines the form in which an EFD algorithm A is handed to the
+// Figure 1 reduction: both parts of A — the automata A^C_i of the
+// C-processes and A^S_q of the S-processes — as step automata over a
+// combined register table (C registers first, then S registers). S-code
+// steps additionally consume a failure-detector value, which the simulation
+// draws from the sampling DAG.
+//
+// DirectSimAlg is the concrete A used by the extraction experiments: the
+// direct vector-Ωk k-set agreement solver re-expressed in this form. Its
+// S-codes run one Disk-Paxos-style consensus per vector position over the
+// collect table (one phase per step — a collect returns all blocks at once),
+// proposing the smallest C-input visible; its C-codes publish their input
+// and poll the S-side for a decided position. It EFD-solves k-set agreement
+// given vector-Ωk advice, which is exactly the premise of Theorem 8 for a
+// task that is not (k+1)-concurrently solvable.
+
+// SCode is the S-process part of a simulated algorithm: like an
+// auto.Automaton, but each step also receives the failure-detector value of
+// the query that the paper's model lets an S-process make at every step.
+type SCode interface {
+	WriteValue() auto.Value
+	OnView(view auto.View, fd any)
+}
+
+// SimAlg is an EFD algorithm in simulable form over n C-processes and n
+// S-processes.
+type SimAlg interface {
+	N() int
+	NewCCode(i int, input any) auto.Automaton
+	NewSCode(q int) SCode
+}
+
+// Combined-table layout helpers: view[0..n) are C registers, view[n..2n)
+// are S registers.
+
+// CRec is the register content of a DirectSimAlg C-code.
+type CRec struct {
+	In any
+}
+
+// SBlock is one Disk-Paxos block for one vector position.
+type SBlock struct {
+	MBal, Bal int
+	Val       any
+}
+
+// SRec is the register content of a DirectSimAlg S-code: one block and
+// possibly a decision per vector position.
+type SRec struct {
+	Blocks []SBlock
+	Dec    []any
+}
+
+func (r SRec) clone() SRec {
+	out := SRec{Blocks: make([]SBlock, len(r.Blocks)), Dec: make([]any, len(r.Dec))}
+	copy(out.Blocks, r.Blocks)
+	copy(out.Dec, r.Dec)
+	return out
+}
+
+// DirectSimAlg is the direct solver in simulable form.
+type DirectSimAlg struct {
+	NC int
+	K  int
+}
+
+var _ SimAlg = DirectSimAlg{}
+
+// N implements SimAlg.
+func (a DirectSimAlg) N() int { return a.NC }
+
+// NewCCode implements SimAlg.
+func (a DirectSimAlg) NewCCode(i int, input any) auto.Automaton {
+	return &directCCode{n: a.NC, k: a.K, input: input}
+}
+
+// NewSCode implements SimAlg.
+func (a DirectSimAlg) NewSCode(q int) SCode {
+	return &directSCode{n: a.NC, k: a.K, me: q, rec: SRec{Blocks: make([]SBlock, a.K), Dec: make([]any, a.K)}}
+}
+
+// directCCode publishes its input and polls S registers for any decided
+// position.
+type directCCode struct {
+	n, k     int
+	input    any
+	decision any
+	done     bool
+}
+
+var _ auto.Automaton = (*directCCode)(nil)
+
+func (c *directCCode) WriteValue() auto.Value { return CRec{In: c.input} }
+
+func (c *directCCode) OnView(view auto.View) {
+	if c.done {
+		return
+	}
+	for q := 0; q < c.n; q++ {
+		r, ok := view[c.n+q].(SRec)
+		if !ok {
+			continue
+		}
+		for j := 0; j < c.k; j++ {
+			if r.Dec[j] != nil {
+				c.decision, c.done = r.Dec[j], true
+				return
+			}
+		}
+	}
+}
+
+func (c *directCCode) Decided() (auto.Value, bool) {
+	if c.done {
+		return c.decision, true
+	}
+	return nil, false
+}
+
+// directSCode advances one consensus phase per step for the positions its
+// advice currently assigns to it. Rounds are partitioned modulo n by S-code
+// id; a phase's collect arrives with the same step as its write, giving the
+// write-then-read-all structure Disk Paxos needs.
+type directSCode struct {
+	n, k int
+	me   int
+	rec  SRec
+
+	phase   []int // per position: 0 idle, 1 after phase-1 write, 2 after phase-2 write
+	round   []int
+	curVal  []any
+	nextPos int
+}
+
+var _ SCode = (*directSCode)(nil)
+
+func (s *directSCode) WriteValue() auto.Value { return s.rec.clone() }
+
+func (s *directSCode) OnView(view auto.View, fd any) {
+	if s.phase == nil {
+		s.phase = make([]int, s.k)
+		s.round = make([]int, s.k)
+		s.curVal = make([]any, s.k)
+		for j := range s.round {
+			s.round[j] = s.me + 1
+		}
+	}
+	vecv, _ := fd.([]int)
+	// Adopt any visible decision into our own record (helps propagation).
+	for q := 0; q < s.n; q++ {
+		r, ok := view[s.n+q].(SRec)
+		if !ok {
+			continue
+		}
+		for j := 0; j < s.k; j++ {
+			if r.Dec[j] != nil && s.rec.Dec[j] == nil {
+				s.rec.Dec[j] = r.Dec[j]
+			}
+		}
+	}
+	// Work on one position this step, round-robin over those we lead.
+	for off := 0; off < s.k; off++ {
+		j := (s.nextPos + off) % s.k
+		if s.rec.Dec[j] != nil {
+			continue
+		}
+		mid := s.phase[j] != 0 // finish a started round even if advice moved on
+		if !mid && (j >= len(vecv) || vecv[j] != s.me) {
+			continue
+		}
+		s.stepPosition(j, view)
+		s.nextPos = (j + 1) % s.k
+		return
+	}
+}
+
+// stepPosition advances position j by one Disk-Paxos phase against the
+// collected blocks in view.
+func (s *directSCode) stepPosition(j int, view auto.View) {
+	maxSeen, pickBal := 0, 0
+	var pickVal any
+	for q := 0; q < s.n; q++ {
+		if q == s.me {
+			continue
+		}
+		r, ok := view[s.n+q].(SRec)
+		if !ok {
+			continue
+		}
+		b := r.Blocks[j]
+		if b.MBal > maxSeen {
+			maxSeen = b.MBal
+		}
+		if b.Bal > pickBal {
+			pickBal, pickVal = b.Bal, b.Val
+		}
+	}
+	switch s.phase[j] {
+	case 0:
+		// Start phase 1: publish mbal = round (the collect this write rides
+		// on has already been delivered; the *next* view judges it).
+		s.rec.Blocks[j] = SBlock{MBal: s.round[j], Bal: s.rec.Blocks[j].Bal, Val: s.rec.Blocks[j].Val}
+		s.phase[j] = 1
+	case 1:
+		// The view collects blocks written after our phase-1 write.
+		if maxSeen > s.round[j] {
+			s.abortRound(j, maxSeen)
+			return
+		}
+		own := s.rec.Blocks[j]
+		if own.Bal > pickBal {
+			pickBal, pickVal = own.Bal, own.Val
+		}
+		if pickBal > 0 {
+			s.curVal[j] = pickVal
+		} else {
+			s.curVal[j] = s.minInput(view)
+		}
+		if s.curVal[j] == nil {
+			s.phase[j] = 0 // no participant visible yet; retry this round
+			return
+		}
+		s.rec.Blocks[j] = SBlock{MBal: s.round[j], Bal: s.round[j], Val: s.curVal[j]}
+		s.phase[j] = 2
+	case 2:
+		if maxSeen > s.round[j] {
+			s.abortRound(j, maxSeen)
+			return
+		}
+		s.rec.Dec[j] = s.curVal[j]
+		s.phase[j] = 0
+	}
+}
+
+func (s *directSCode) abortRound(j, above int) {
+	r := s.round[j]
+	for r <= above {
+		r += s.n
+	}
+	s.round[j] = r
+	s.phase[j] = 0
+}
+
+func (s *directSCode) minInput(view auto.View) any {
+	for i := 0; i < s.n; i++ {
+		if r, ok := view[i].(CRec); ok && r.In != nil {
+			return r.In
+		}
+	}
+	return nil
+}

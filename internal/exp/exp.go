@@ -1,0 +1,91 @@
+// Package exp is the experiment harness: one runner per experiment in
+// EXPERIMENTS.md (E1–E12), each regenerating the table that validates one of
+// the paper's propositions, theorems or algorithm figures. cmd/efd-bench
+// prints every table; the root bench_test.go benchmarks each runner.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated result table.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper statement being validated
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Failures counts rows that violated the claim (0 = reproduced).
+	Failures int
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "   claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "  %-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %s", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	if t.Failures == 0 {
+		b.WriteString("   result: REPRODUCED\n")
+	} else {
+		fmt.Fprintf(&b, "   result: %d FAILURES\n", t.Failures)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment table.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() *Table
+}
+
+// All returns every experiment runner in order.
+func All() []Runner {
+	return []Runner{
+		{ID: "E1", Name: "prop1-one-concurrent", Run: E1Prop1},
+		{ID: "E2", Name: "shelper-set-agreement", Run: E2SHelpers},
+		{ID: "E3", Name: "classical-vs-efd", Run: E3Separation},
+		{ID: "E4", Name: "fig2-kcodes", Run: E4KCodes},
+		{ID: "E5", Name: "solve-kset", Run: E5SolveKSet},
+		{ID: "E6", Name: "solve-renaming", Run: E6SolveRenaming},
+		{ID: "E7", Name: "extract-anti-omega", Run: E7Extraction},
+		{ID: "E8", Name: "puzzle", Run: E8Puzzle},
+		{ID: "E9", Name: "strong-renaming", Run: E9StrongRenaming},
+		{ID: "E10", Name: "renaming-diagonal", Run: E10RenamingSweep},
+		{ID: "E11", Name: "hierarchy", Run: E11Hierarchy},
+		{ID: "E12", Name: "bg-substrate", Run: E12BG},
+	}
+}

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsReproduce is the reproduction gate: every experiment
+// table regenerates with zero failures. It is the test-suite mirror of
+// `go run ./cmd/efd-bench`.
+func TestAllExperimentsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID+"_"+r.Name, func(t *testing.T) {
+			tbl := r.Run()
+			if tbl.Failures > 0 {
+				t.Fatalf("%s: %d failures\n%s", r.ID, tbl.Failures, tbl.Render())
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", r.ID)
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Claim:  "render works",
+		Header: []string{"a", "column"},
+	}
+	tbl.AddRow("1", "x")
+	tbl.AddRow("22", "y")
+	out := tbl.Render()
+	for _, want := range []string{"EX", "demo", "render works", "column", "22", "REPRODUCED"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	tbl.Failures = 2
+	if !strings.Contains(tbl.Render(), "2 FAILURES") {
+		t.Fatal("failure count not rendered")
+	}
+}

@@ -1,0 +1,105 @@
+package fdet
+
+// This file implements the Chandra–Toueg style sampling DAG used by the
+// Figure 1 extraction algorithm (Theorem 8). Every vertex [q, d, k] records
+// that the k-th query of the failure detector by S-process q returned value
+// d; edges record causal precedence. Because the simulation runtime
+// serializes steps, causal precedence is witnessed by a total order on
+// samples, which makes the DAG a chain of layers; the cursor interface below
+// exposes exactly the operation the extraction needs — "the next vertex of
+// q_i causally succeeding the latest simulated steps of all S-processes seen
+// so far".
+
+// Sample is a DAG vertex.
+type Sample struct {
+	Proc  int  // S-process index
+	Value any  // detector value returned
+	Seq   int  // per-process query sequence number (the k in [q, d, k])
+	At    Time // global time of the query (establishes the causal order)
+}
+
+// DAG is a finite sample of a failure detector history taken in a run with a
+// known failure pattern.
+type DAG struct {
+	Pattern Pattern
+	samples []Sample
+	perProc [][]int // perProc[q] = indices into samples, in time order
+}
+
+// BuildDAG queries history h according to schedule: at step t, S-process
+// schedule[t] performs its next query (crashed processes are skipped). The
+// result is the DAG an honest sampling phase of the reduction algorithm
+// would assemble.
+func BuildDAG(p Pattern, h History, schedule []int) *DAG {
+	d := &DAG{Pattern: p, perProc: make([][]int, p.N)}
+	seq := make([]int, p.N)
+	for t, q := range schedule {
+		if q < 0 || q >= p.N || p.Crashed(q, t) {
+			continue
+		}
+		s := Sample{Proc: q, Value: h.Query(q, t), Seq: seq[q], At: t}
+		seq[q]++
+		d.perProc[q] = append(d.perProc[q], len(d.samples))
+		d.samples = append(d.samples, s)
+	}
+	return d
+}
+
+// RoundRobinSchedule returns the schedule in which the n S-processes query
+// in round-robin order for the given number of steps.
+func RoundRobinSchedule(n, steps int) []int {
+	out := make([]int, steps)
+	for t := range out {
+		out[t] = t % n
+	}
+	return out
+}
+
+// Len returns the number of samples.
+func (d *DAG) Len() int { return len(d.samples) }
+
+// SamplesOf returns the number of samples of S-process q.
+func (d *DAG) SamplesOf(q int) int { return len(d.perProc[q]) }
+
+// Cursor walks a DAG monotonically: Next(q) returns the earliest sample of q
+// whose position follows every sample previously consumed (causal
+// succession), advancing the frontier. A fresh cursor starts before the
+// first sample. Cursors are cheap to copy, which the extraction's
+// depth-first exploration uses to fork simulated runs.
+type Cursor struct {
+	d        *DAG
+	frontier Time // next sample must have At >= frontier
+	nextIdx  []int
+}
+
+// NewCursor returns a cursor positioned at the start of d.
+func (d *DAG) NewCursor() *Cursor {
+	return &Cursor{d: d, nextIdx: make([]int, len(d.perProc))}
+}
+
+// Clone returns an independent copy of the cursor.
+func (c *Cursor) Clone() *Cursor {
+	out := &Cursor{d: c.d, frontier: c.frontier, nextIdx: make([]int, len(c.nextIdx))}
+	copy(out.nextIdx, c.nextIdx)
+	return out
+}
+
+// Next returns the next causally-succeeding sample of S-process q, or false
+// if the DAG holds no further sample for q (the simulated step cannot be
+// performed — in the paper, "if G provides enough information about
+// failures to simulate the next step").
+func (c *Cursor) Next(q int) (Sample, bool) {
+	if q < 0 || q >= len(c.nextIdx) {
+		return Sample{}, false
+	}
+	idxs := c.d.perProc[q]
+	for c.nextIdx[q] < len(idxs) {
+		s := c.d.samples[idxs[c.nextIdx[q]]]
+		c.nextIdx[q]++
+		if s.At >= c.frontier {
+			c.frontier = s.At + 1
+			return s, true
+		}
+	}
+	return Sample{}, false
+}

@@ -1,0 +1,362 @@
+package fdet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// History is a failure detector history H: Query(i, t) is the value output
+// by the detector module of S-process q_{i+1} at time t (H(q_i, τ) in the
+// paper). Implementations must be deterministic functions of (i, t).
+type History interface {
+	Query(i int, t Time) any
+}
+
+// Detector generates, for each failure pattern, one history from the set
+// D(F). The seed selects among the permitted histories; in particular it
+// drives arbitrary pre-stabilization output.
+type Detector interface {
+	// Name returns the detector's name ("Omega", "AntiOmega-2", ...).
+	Name() string
+	// History returns a history in D(F). stabilize is the time after which
+	// the detector's eventual properties hold; before it the output may be
+	// arbitrary (seeded noise).
+	History(p Pattern, stabilize Time, seed int64) History
+}
+
+// funcHistory adapts a query function to the History interface.
+type funcHistory struct {
+	f func(i int, t Time) any
+}
+
+func (h funcHistory) Query(i int, t Time) any { return h.f(i, t) }
+
+// HistoryFunc returns a History backed by f.
+func HistoryFunc(f func(i int, t Time) any) History { return funcHistory{f: f} }
+
+// noiseRand returns a deterministic rng for (seed, i, t) so that histories
+// are pure functions of their arguments.
+func noiseRand(seed int64, i int, t Time) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(i)*7_919 + int64(t)))
+}
+
+// Trivial is the trivial failure detector: it always outputs ⊥ (nil). A task
+// solvable with Trivial and n ≥ m is exactly a wait-free solvable task
+// (Proposition 2).
+type Trivial struct{}
+
+var _ Detector = Trivial{}
+
+// Name implements Detector.
+func (Trivial) Name() string { return "Trivial" }
+
+// History implements Detector.
+func (Trivial) History(Pattern, Time, int64) History {
+	return HistoryFunc(func(int, Time) any { return nil })
+}
+
+// Omega is the Ω leader detector: eventually the same correct S-process is
+// permanently output at all correct processes. Ω is equivalent to ¬Ω1.
+// Values are S-process indices (int).
+type Omega struct{}
+
+var _ Detector = Omega{}
+
+// Name implements Detector.
+func (Omega) Name() string { return "Omega" }
+
+// History implements Detector.
+func (Omega) History(p Pattern, stabilize Time, seed int64) History {
+	leader := p.MinCorrect()
+	return HistoryFunc(func(i int, t Time) any {
+		if t >= stabilize {
+			return leader
+		}
+		return noiseRand(seed, i, t).Intn(p.N)
+	})
+}
+
+// CheckOmega audits a recorded output stream against Ω's property over the
+// suffix [stabilize, horizon): all correct processes permanently output the
+// same correct process. outputs[i][t] is the value at q_{i+1}, time t.
+func CheckOmega(p Pattern, outputs map[int]map[Time]any, stabilize, horizon Time) error {
+	var leader = -1
+	for _, i := range p.Correct() {
+		for t := stabilize; t < horizon; t++ {
+			v, ok := outputs[i][t]
+			if !ok {
+				continue
+			}
+			l, isInt := v.(int)
+			if !isInt {
+				return fmt.Errorf("q%d output %v (%T) at %d, want int", i+1, v, v, t)
+			}
+			if leader == -1 {
+				leader = l
+			}
+			if l != leader {
+				return fmt.Errorf("q%d output leader q%d at %d, want q%d", i+1, l+1, t, leader+1)
+			}
+		}
+	}
+	if leader == -1 {
+		return fmt.Errorf("no outputs recorded in suffix")
+	}
+	if p.Faulty(leader) {
+		return fmt.Errorf("stable leader q%d is faulty", leader+1)
+	}
+	return nil
+}
+
+// AntiOmegaK is the ¬Ωk detector (Raynal; Zieliński): it outputs, at every
+// S-process and every time, a set of n−k S-process indices, and guarantees
+// that some correct S-process is eventually never output at any correct
+// process. ¬Ω1 is equivalent to Ω. By Proposition 6 it is the weakest
+// failure detector for k-set agreement in EFD, and by Theorem 10 the weakest
+// detector for every task of concurrency level k.
+type AntiOmegaK struct {
+	K int
+}
+
+var _ Detector = AntiOmegaK{}
+
+// Name implements Detector.
+func (d AntiOmegaK) Name() string { return fmt.Sprintf("AntiOmega-%d", d.K) }
+
+// History implements Detector: after stabilization, the output is a set of
+// n−k processes that never includes the "safe" process (the smallest correct
+// one) but otherwise rotates through all remaining processes, exercising
+// consumers against maximal permitted variety. Before stabilization the sets
+// are arbitrary.
+func (d AntiOmegaK) History(p Pattern, stabilize Time, seed int64) History {
+	n := p.N
+	safe := p.MinCorrect()
+	others := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != safe {
+			others = append(others, i)
+		}
+	}
+	size := n - d.K
+	if size < 0 {
+		size = 0
+	}
+	return HistoryFunc(func(i int, t Time) any {
+		out := make([]int, 0, size)
+		if t >= stabilize {
+			// Rotate a window of size n−k over the non-safe processes.
+			for o := 0; o < size; o++ {
+				out = append(out, others[(t+o+i)%len(others)])
+			}
+			return sortedCopy(out)
+		}
+		rng := noiseRand(seed, i, t)
+		perm := rng.Perm(n)
+		for _, x := range perm[:size] {
+			out = append(out, x)
+		}
+		return sortedCopy(out)
+	})
+}
+
+// CheckAntiOmegaK audits a recorded output stream against the ¬Ωk property
+// over the suffix [stabilize, horizon): there is a correct process that no
+// correct process ever outputs in the suffix. outputs[i][t] is the []int set
+// output at q_{i+1} at time t; missing entries are ignored (a process that
+// is not scheduled emits nothing).
+func CheckAntiOmegaK(p Pattern, k int, outputs map[int]map[Time][]int, stabilize, horizon Time) error {
+	everOutput := make(map[int]bool)
+	n := p.N
+	any := false
+	for _, i := range p.Correct() {
+		for t := stabilize; t < horizon; t++ {
+			set, ok := outputs[i][t]
+			if !ok {
+				continue
+			}
+			any = true
+			if len(set) != n-k {
+				return fmt.Errorf("q%d output %d ids at %d, want n-k=%d", i+1, len(set), t, n-k)
+			}
+			for _, x := range set {
+				if x < 0 || x >= n {
+					return fmt.Errorf("q%d output id %d out of range at %d", i+1, x, t)
+				}
+				everOutput[x] = true
+			}
+		}
+	}
+	if !any {
+		return fmt.Errorf("no outputs recorded in suffix")
+	}
+	for _, c := range p.Correct() {
+		if !everOutput[c] {
+			return nil // q_{c+1} is the eventually-never-output correct process
+		}
+	}
+	return fmt.Errorf("every correct process was output during the suffix; ¬Ω%d violated", k)
+}
+
+// VectorOmegaK is the vector-Ω-k detector of Zieliński, equivalent to ¬Ωk
+// (§4.2): it outputs a k-vector of S-process indices such that eventually at
+// least one position stabilizes on the same correct process at all correct
+// processes. The Figure 2 simulation consumes this form.
+type VectorOmegaK struct {
+	K int
+	// GoodPos, if in [0,K), fixes which position stabilizes; otherwise the
+	// seed picks one. Positions other than the good one flap forever unless
+	// Pinned is set.
+	GoodPos int
+	// Pinned makes every position stabilize, each on a distinct correct
+	// process when enough exist (a legal — stronger than required — history;
+	// the Figure 1 witness construction uses it to know exactly which
+	// S-processes drive progress).
+	Pinned bool
+}
+
+var _ Detector = VectorOmegaK{}
+
+// Name implements Detector.
+func (d VectorOmegaK) Name() string { return fmt.Sprintf("VectorOmega-%d", d.K) }
+
+// History implements Detector.
+func (d VectorOmegaK) History(p Pattern, stabilize Time, seed int64) History {
+	leader := p.MinCorrect()
+	good := d.GoodPos
+	if good < 0 || good >= d.K {
+		good = int(rand.New(rand.NewSource(seed)).Intn(d.K))
+	}
+	correct := p.Correct()
+	return HistoryFunc(func(i int, t Time) any {
+		v := make([]int, d.K)
+		rng := noiseRand(seed, i, t)
+		for j := range v {
+			v[j] = rng.Intn(p.N)
+		}
+		if t >= stabilize {
+			if d.Pinned {
+				for j := range v {
+					v[j] = correct[j%len(correct)]
+				}
+			}
+			v[good] = leader
+		}
+		return v
+	})
+}
+
+// PinnedLeaders returns the stabilized leader of every position of a Pinned
+// vector-Ωk history over pattern p (position good carries MinCorrect).
+func (d VectorOmegaK) PinnedLeaders(p Pattern) []int {
+	correct := p.Correct()
+	v := make([]int, d.K)
+	for j := range v {
+		v[j] = correct[j%len(correct)]
+	}
+	good := d.GoodPos
+	if good >= 0 && good < d.K {
+		v[good] = p.MinCorrect()
+	}
+	return v
+}
+
+// CheckVectorOmegaK audits recorded k-vector outputs over the suffix: some
+// position holds the same correct process in every recorded output of every
+// correct process.
+func CheckVectorOmegaK(p Pattern, k int, outputs map[int]map[Time][]int, stabilize, horizon Time) error {
+	candidate := make([]int, k)
+	fixed := make([]bool, k)
+	alive := make([]bool, k)
+	for j := range alive {
+		alive[j] = true
+	}
+	any := false
+	for _, i := range p.Correct() {
+		for t := stabilize; t < horizon; t++ {
+			v, ok := outputs[i][t]
+			if !ok {
+				continue
+			}
+			if len(v) != k {
+				return fmt.Errorf("q%d output a %d-vector at %d, want %d", i+1, len(v), t, k)
+			}
+			any = true
+			for j := 0; j < k; j++ {
+				if !alive[j] {
+					continue
+				}
+				if !fixed[j] {
+					candidate[j], fixed[j] = v[j], true
+					continue
+				}
+				if v[j] != candidate[j] {
+					alive[j] = false
+				}
+			}
+		}
+	}
+	if !any {
+		return fmt.Errorf("no outputs recorded in suffix")
+	}
+	for j := 0; j < k; j++ {
+		if alive[j] && fixed[j] && !p.Faulty(candidate[j]) {
+			return nil
+		}
+	}
+	return fmt.Errorf("no position stabilized on a correct process; vector-Ω%d violated", k)
+}
+
+// FirstAlive is the §2.3 counterexample detector: it outputs q1 if q1 is
+// correct in the failure pattern and q2 otherwise, at every process and
+// every time. It classically solves consensus between p1 and p2 in E_2 but
+// does not EFD-solve it: knowing that q1 is correct says nothing about
+// whether the computation process p1 ever takes another step.
+type FirstAlive struct{}
+
+var _ Detector = FirstAlive{}
+
+// Name implements Detector.
+func (FirstAlive) Name() string { return "FirstAlive" }
+
+// History implements Detector.
+func (FirstAlive) History(p Pattern, _ Time, _ int64) History {
+	out := 1
+	if !p.Faulty(0) {
+		out = 0
+	}
+	return HistoryFunc(func(int, Time) any { return out })
+}
+
+// EventuallyPerfect is the ◇P detector: eventually the output at every
+// correct process is exactly the set of faulty processes. Included for
+// baseline comparisons in the hierarchy experiments.
+type EventuallyPerfect struct{}
+
+var _ Detector = EventuallyPerfect{}
+
+// Name implements Detector.
+func (EventuallyPerfect) Name() string { return "EventuallyPerfect" }
+
+// History implements Detector: after stabilization the suspected set is
+// exactly the processes crashed so far (which converges to faulty(F));
+// before it, arbitrary subsets.
+func (EventuallyPerfect) History(p Pattern, stabilize Time, seed int64) History {
+	return HistoryFunc(func(i int, t Time) any {
+		out := make([]int, 0, p.N)
+		if t >= stabilize {
+			for x := 0; x < p.N; x++ {
+				if p.Crashed(x, t) {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		rng := noiseRand(seed, i, t)
+		for x := 0; x < p.N; x++ {
+			if rng.Intn(2) == 0 {
+				out = append(out, x)
+			}
+		}
+		return out
+	})
+}

@@ -1,0 +1,171 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/vec"
+)
+
+// proposerBody drives one instance to decision, always believing itself the
+// leader — the adversarial multi-leader case in which only safety matters.
+func proposerBody(key string, n int, decided *[]Value) func(i int) sim.Body {
+	return func(i int) sim.Body {
+		return func(e *sim.Env) {
+			p := NewProposer(key, i, n, fmt.Sprintf("v%d", i))
+			for {
+				if v, ok := p.StepOp(e, true); ok {
+					(*decided)[i] = v
+					e.Decide(v)
+					return
+				}
+			}
+		}
+	}
+}
+
+func runProposers(t *testing.T, n int, sched sim.Scheduler, maxSteps int) *sim.Result {
+	t.Helper()
+	decided := make([]Value, n)
+	inputs := vec.New(n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	cfg := sim.Config{
+		NC:       n,
+		Inputs:   inputs,
+		CBody:    proposerBody("inst", n, &decided),
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: maxSteps,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Run(sched)
+}
+
+func TestAgreementUnderContention(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		res := runProposers(t, 4, sim.NewRandom(seed), 200_000)
+		var first Value
+		for i, v := range res.Outputs {
+			if v == nil {
+				continue
+			}
+			if first == nil {
+				first = v
+			}
+			if v != first {
+				t.Fatalf("seed %d: p%d decided %v, others %v", seed, i+1, v, first)
+			}
+		}
+		if first == nil {
+			t.Logf("seed %d: no decision under contention (allowed; safety only)", seed)
+		}
+	}
+}
+
+func TestValidity(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := runProposers(t, 3, sim.NewRandom(seed), 100_000)
+		for i, v := range res.Outputs {
+			if v == nil {
+				continue
+			}
+			s, ok := v.(string)
+			if !ok || len(s) < 2 || s[0] != 'v' {
+				t.Fatalf("seed %d: p%d decided non-proposal %v", seed, i+1, v)
+			}
+		}
+	}
+}
+
+func TestSoloProposerDecides(t *testing.T) {
+	res := runProposers(t, 1, &sim.RoundRobin{}, 1000)
+	if res.Outputs[0] != "v0" {
+		t.Fatalf("solo proposer decided %v, want v0", res.Outputs[0])
+	}
+}
+
+func TestStableLeaderDecides(t *testing.T) {
+	// Everyone runs, but only p1 believes it leads: must decide, and all
+	// others adopt via the decision register.
+	const n = 4
+	decided := make([]Value, n)
+	inputs := vec.New(n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	cfg := sim.Config{
+		NC:     n,
+		Inputs: inputs,
+		CBody: func(i int) sim.Body {
+			return func(e *sim.Env) {
+				p := NewProposer("inst", i, n, fmt.Sprintf("v%d", i))
+				for {
+					if v, ok := p.StepOp(e, i == 0); ok {
+						decided[i] = v
+						e.Decide(v)
+						return
+					}
+				}
+			}
+		},
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: 50_000,
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rt, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run(sim.NewRandom(seed))
+		if err := sim.DecidedAll(res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < n; i++ {
+			if res.Outputs[i] != "v0" {
+				t.Fatalf("seed %d: p%d decided %v, want v0", seed, i+1, res.Outputs[i])
+			}
+		}
+	}
+}
+
+func TestLateLeaderAdoptsEarlierValue(t *testing.T) {
+	// p1 leads alone for a while; then p2 takes over. Whatever decides must
+	// be a single value even across the handover.
+	const n = 2
+	cfg := sim.Config{
+		NC:     n,
+		Inputs: vec.Of("a", "b"),
+		CBody: func(i int) sim.Body {
+			return func(e *sim.Env) {
+				p := NewProposer("inst", i, n, fmt.Sprintf("v%d", i))
+				steps := 0
+				for {
+					steps++
+					lead := (i == 0 && steps < 40) || (i == 1 && steps >= 10)
+					if v, ok := p.StepOp(e, lead); ok {
+						e.Decide(v)
+						return
+					}
+				}
+			}
+		},
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: 100_000,
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rt, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run(sim.NewRandom(seed))
+		if res.Outputs[0] != nil && res.Outputs[1] != nil && res.Outputs[0] != res.Outputs[1] {
+			t.Fatalf("seed %d: split decision %v vs %v", seed, res.Outputs[0], res.Outputs[1])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTrace renders a run's trace (or a slice of it) as readable lines,
+// one step per line — the debugging view of an interleaving.
+func FormatTrace(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		switch e.Kind {
+		case OpDecide:
+			fmt.Fprintf(&b, "%6d %-4s decide %v\n", e.Step, e.Proc, e.Val)
+		case OpQueryFD:
+			fmt.Fprintf(&b, "%6d %-4s queryFD -> %v\n", e.Step, e.Proc, e.Val)
+		default:
+			fmt.Fprintf(&b, "%6d %-4s %-5s %-14s %v\n", e.Step, e.Proc, e.Kind, e.Key, e.Val)
+		}
+	}
+	return b.String()
+}
+
+// Summary renders a one-paragraph account of a run: how it ended, who
+// participated, who decided what, and the run's concurrency level.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %d steps (%v)\n", r.Steps, r.Reason)
+	fmt.Fprintf(&b, "inputs:  %v\n", r.Inputs)
+	fmt.Fprintf(&b, "outputs: %v\n", r.Outputs)
+	undecided := 0
+	for i := range r.Inputs {
+		if r.Participated[i] && r.Outputs[i] == nil {
+			undecided++
+		}
+	}
+	fmt.Fprintf(&b, "participants: %d, undecided: %d, concurrency: %d\n",
+		len(r.Participated), undecided, MaxConcurrency(r))
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"wfadvice/internal/ids"
+	"wfadvice/internal/vec"
+)
+
+func TestFormatTraceAndSummary(t *testing.T) {
+	events := []Event{
+		{Step: 0, Proc: ids.C(0), Kind: OpWrite, Key: "r/0", Val: 7},
+		{Step: 1, Proc: ids.S(1), Kind: OpQueryFD, Val: 3},
+		{Step: 2, Proc: ids.C(0), Kind: OpDecide, Val: 7},
+	}
+	out := FormatTrace(events)
+	for _, want := range []string{"p1", "q2", "write", "queryFD", "decide 7", "r/0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	res := &Result{
+		Inputs:       vec.Of(7),
+		Outputs:      vec.Of(7),
+		Steps:        3,
+		Reason:       ReasonAllDone,
+		Participated: map[int]bool{0: true},
+		Trace:        events,
+	}
+	sum := res.Summary()
+	for _, want := range []string{"3 steps", "all-done", "[7]", "concurrency: 1"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -1,0 +1,481 @@
+// Package sim is the execution substrate for the external-failure-detection
+// (EFD) model: a read-write shared-memory system of C-processes and
+// S-processes driven by an explicit scheduler, one atomic step at a time
+// (§2.1 of "Wait-Freedom with Advice").
+//
+// Process bodies are ordinary Go functions; every shared-memory operation
+// (read, write, failure-detector query, decide) blocks until the scheduler
+// grants the process a step, so a run's interleaving is fully determined by
+// the scheduler and runs are reproducible. Local computation between steps
+// is free, exactly as in the model. Crashes apply only to S-processes;
+// C-processes never crash but may simply stop being scheduled — the
+// distinction at the heart of the EFD model.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/ids"
+	"wfadvice/internal/vec"
+)
+
+// Value is a shared-register value. Registers are atomic; values must be
+// treated as immutable once written (writers should copy slices and maps at
+// the boundary).
+type Value = any
+
+// OpKind classifies the steps recorded in a trace.
+type OpKind int
+
+// Step kinds.
+const (
+	OpWrite OpKind = iota + 1
+	OpRead
+	OpQueryFD
+	OpDecide
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpQueryFD:
+		return "queryFD"
+	case OpDecide:
+		return "decide"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Event is one recorded step of a run.
+type Event struct {
+	Step int
+	Proc ids.Proc
+	Kind OpKind
+	Key  string
+	Val  Value // value written, read, returned by the detector, or decided
+}
+
+// Body is a process program. It runs in its own goroutine; every call to an
+// Env operation consumes one scheduled step.
+type Body func(e *Env)
+
+// Config describes a system to execute.
+type Config struct {
+	NC int // number of C-processes (m in the paper)
+	NS int // number of S-processes (n in the paper)
+
+	// Inputs holds one task input per C-process; a nil entry means the
+	// process does not participate and is not spawned.
+	Inputs vec.Vector
+
+	// CBody returns the program of C-process i; it must not be nil if any
+	// input is non-nil.
+	CBody func(i int) Body
+	// SBody returns the program of S-process i. A nil SBody (or nil return)
+	// spawns no S-process, which models the "restricted algorithms" of §2.2
+	// in which S-processes take only null steps.
+	SBody func(i int) Body
+
+	// Pattern is the failure pattern for the S-processes.
+	Pattern fdet.Pattern
+	// History supplies failure-detector values to S-process queries; nil
+	// histories answer nil (the trivial detector).
+	History fdet.History
+
+	// MaxSteps bounds the run; the bounded stand-in for "infinite run".
+	MaxSteps int
+}
+
+// Reason reports why a run ended.
+type Reason int
+
+// Run end reasons.
+const (
+	ReasonMaxSteps  Reason = iota + 1 // step budget exhausted
+	ReasonAllDone                     // every spawned process returned
+	ReasonScheduler                   // scheduler declined to pick a process
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonMaxSteps:
+		return "max-steps"
+	case ReasonAllDone:
+		return "all-done"
+	case ReasonScheduler:
+		return "scheduler-stopped"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Result captures everything observable about a finished run.
+type Result struct {
+	Inputs    vec.Vector
+	Outputs   vec.Vector // decision of each C-process (nil = undecided)
+	Decisions map[int]Value
+	Trace     []Event
+	Steps     int
+	Reason    Reason
+	// Participated[i] reports whether C-process i took at least one step.
+	Participated map[int]bool
+	// FinalStore is a copy of the shared memory at the end of the run.
+	FinalStore map[string]Value
+}
+
+var errStopped = errors.New("sim: runtime stopped")
+
+type procState int
+
+const (
+	statePending  procState = iota + 1 // parked at an operation, awaiting grant
+	stateActive                        // granted, executing its operation
+	stateReturned                      // body finished
+)
+
+type proc struct {
+	id    ids.Proc
+	input Value
+	body  Body
+	env   *Env
+	grant chan struct{}
+	state procState // owned by the runtime loop
+	steps int
+	// decided is set for C-processes once they call Decide.
+	decided  bool
+	decision Value
+}
+
+// Runtime executes one configured system. A Runtime is single-use: create,
+// Run, inspect the Result.
+type Runtime struct {
+	cfg    Config
+	store  map[string]Value
+	procs  []*proc // stable order: C(0..NC-1) then S(0..NS-1), spawned only
+	byID   map[ids.Proc]*proc
+	reqCh  chan *proc
+	retCh  chan *proc
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	trace  []Event
+	step   int
+}
+
+// New validates cfg and builds a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.NC < 0 || cfg.NS < 0 {
+		return nil, fmt.Errorf("sim: negative process counts")
+	}
+	if len(cfg.Inputs) != cfg.NC {
+		return nil, fmt.Errorf("sim: %d inputs for %d C-processes", len(cfg.Inputs), cfg.NC)
+	}
+	if cfg.MaxSteps <= 0 {
+		return nil, fmt.Errorf("sim: MaxSteps must be positive")
+	}
+	if cfg.Pattern.N != cfg.NS {
+		return nil, fmt.Errorf("sim: pattern over %d processes, want %d", cfg.Pattern.N, cfg.NS)
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		store:  make(map[string]Value),
+		byID:   make(map[ids.Proc]*proc),
+		reqCh:  make(chan *proc),
+		retCh:  make(chan *proc),
+		stopCh: make(chan struct{}),
+	}
+	for i := 0; i < cfg.NC; i++ {
+		if cfg.Inputs[i] == nil {
+			continue
+		}
+		if cfg.CBody == nil {
+			return nil, fmt.Errorf("sim: participating C-process p%d has no body", i+1)
+		}
+		r.addProc(ids.C(i), cfg.Inputs[i], cfg.CBody(i))
+	}
+	for i := 0; i < cfg.NS; i++ {
+		if cfg.SBody == nil {
+			continue
+		}
+		b := cfg.SBody(i)
+		if b == nil {
+			continue
+		}
+		r.addProc(ids.S(i), nil, b)
+	}
+	return r, nil
+}
+
+func (r *Runtime) addProc(id ids.Proc, input Value, body Body) {
+	p := &proc{id: id, input: input, body: body, grant: make(chan struct{})}
+	p.env = &Env{r: r, p: p}
+	r.procs = append(r.procs, p)
+	r.byID[id] = p
+}
+
+// Run drives the system until the step budget is exhausted, the scheduler
+// stops, or every process returns.
+func (r *Runtime) Run(sched Scheduler) *Result {
+	live := 0
+	pending := 0
+	for _, p := range r.procs {
+		p := p
+		live++
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer func() {
+				if x := recover(); x != nil && x != errStopped { //nolint:errorlint // sentinel identity
+					panic(x)
+				}
+				select {
+				case r.retCh <- p:
+				case <-r.stopCh:
+				}
+			}()
+			p.body(p.env)
+			panic(errStopped) // normal return: unify the exit path
+		}()
+	}
+
+	reason := ReasonMaxSteps
+	for live > 0 {
+		// Lockstep barrier: wait until every live process is parked at an
+		// operation. This makes scheduling decisions independent of
+		// goroutine timing, so runs are deterministic.
+		for pending < live {
+			select {
+			case p := <-r.reqCh:
+				p.state = statePending
+				pending++
+			case p := <-r.retCh:
+				if p.state == statePending {
+					pending--
+				}
+				p.state = stateReturned
+				live--
+			}
+		}
+		if live == 0 {
+			reason = ReasonAllDone
+			break
+		}
+		if r.step >= r.cfg.MaxSteps {
+			reason = ReasonMaxSteps
+			break
+		}
+		view := r.view()
+		if len(view.Ready) == 0 {
+			// Every remaining process is crashed; the run is over.
+			reason = ReasonAllDone
+			break
+		}
+		next, ok := sched.Next(view)
+		if !ok {
+			reason = ReasonScheduler
+			break
+		}
+		p := r.byID[next]
+		if p == nil || p.state != statePending {
+			reason = ReasonScheduler
+			break
+		}
+		// Grant exactly one step. The process performs its operation against
+		// the store (it has exclusive access until it re-parks or returns).
+		p.state = stateActive
+		pending--
+		p.grant <- struct{}{}
+		// Wait for this process to park at its next operation or return; all
+		// other live processes are already parked, so the next message is
+		// necessarily from p.
+		select {
+		case q := <-r.reqCh:
+			q.state = statePending
+			pending++
+		case q := <-r.retCh:
+			q.state = stateReturned
+			live--
+		}
+	}
+	if live == 0 {
+		reason = ReasonAllDone
+	}
+
+	close(r.stopCh)
+	r.wg.Wait()
+	return r.result(reason)
+}
+
+// view assembles the scheduler's view of the current state.
+func (r *Runtime) view() *View {
+	v := &View{
+		Step:      r.step,
+		NC:        r.cfg.NC,
+		NS:        r.cfg.NS,
+		Started:   make(map[ids.Proc]bool, len(r.procs)),
+		DecidedC:  make(map[int]bool, r.cfg.NC),
+		stepsOf:   make(map[ids.Proc]int, len(r.procs)),
+		decisions: make(map[int]Value, r.cfg.NC),
+	}
+	for _, p := range r.procs {
+		v.Started[p.id] = p.steps > 0
+		v.stepsOf[p.id] = p.steps
+		if p.id.IsC() {
+			if p.decided {
+				v.DecidedC[p.id.Index] = true
+				v.decisions[p.id.Index] = p.decision
+			} else {
+				v.cRemaining++
+			}
+		}
+		if p.state != statePending {
+			continue
+		}
+		if p.id.IsS() && r.cfg.Pattern.Crashed(p.id.Index, r.step) {
+			continue // crashed S-processes take no further steps
+		}
+		v.Ready = append(v.Ready, p.id)
+	}
+	for _, p := range r.procs {
+		if p.id.IsC() && p.steps > 0 && !p.decided {
+			v.UndecidedParticipating = append(v.UndecidedParticipating, p.id.Index)
+		}
+	}
+	return v
+}
+
+func (r *Runtime) result(reason Reason) *Result {
+	res := &Result{
+		Inputs:       r.cfg.Inputs.Clone(),
+		Outputs:      vec.New(r.cfg.NC),
+		Decisions:    make(map[int]Value),
+		Trace:        r.trace,
+		Steps:        r.step,
+		Reason:       reason,
+		Participated: make(map[int]bool),
+		FinalStore:   make(map[string]Value, len(r.store)),
+	}
+	for _, p := range r.procs {
+		if p.id.IsC() {
+			if p.steps > 0 {
+				res.Participated[p.id.Index] = true
+			}
+			if p.decided {
+				res.Decisions[p.id.Index] = p.decision
+				res.Outputs[p.id.Index] = p.decision
+			}
+		}
+	}
+	// The run's input vector contains only participating processes (§2.2).
+	for i := range res.Inputs {
+		if !res.Participated[i] {
+			res.Inputs[i] = nil
+		}
+	}
+	for k, v := range r.store {
+		res.FinalStore[k] = v
+	}
+	return res
+}
+
+// record appends a trace event; called by the active process during its
+// exclusive step window.
+func (r *Runtime) record(p *proc, kind OpKind, key string, val Value) {
+	r.trace = append(r.trace, Event{Step: r.step, Proc: p.id, Kind: kind, Key: key, Val: val})
+	r.step++
+	p.steps++
+}
+
+// Env is a process's handle to the shared memory, its failure-detector
+// module (S-processes) and its decision action (C-processes). All methods
+// that consume a step block until the scheduler grants one.
+type Env struct {
+	r *Runtime
+	p *proc
+}
+
+// await parks the process until the scheduler grants it a step.
+func (e *Env) await() {
+	select {
+	case e.r.reqCh <- e.p:
+	case <-e.r.stopCh:
+		panic(errStopped)
+	}
+	select {
+	case <-e.p.grant:
+	case <-e.r.stopCh:
+		panic(errStopped)
+	}
+}
+
+// Proc returns this process's identity.
+func (e *Env) Proc() ids.Proc { return e.p.id }
+
+// Index returns this process's zero-based index within its kind.
+func (e *Env) Index() int { return e.p.id.Index }
+
+// NC returns the number of C-processes in the system.
+func (e *Env) NC() int { return e.r.cfg.NC }
+
+// NS returns the number of S-processes in the system.
+func (e *Env) NS() int { return e.r.cfg.NS }
+
+// Input returns the task input of a C-process (nil for S-processes).
+func (e *Env) Input() Value { return e.p.input }
+
+// HasDecided reports whether this C-process already decided.
+func (e *Env) HasDecided() bool { return e.p.decided }
+
+// Read performs one atomic register read.
+func (e *Env) Read(key string) Value {
+	e.await()
+	v := e.r.store[key]
+	e.r.record(e.p, OpRead, key, v)
+	return v
+}
+
+// Write performs one atomic register write.
+func (e *Env) Write(key string, v Value) {
+	e.await()
+	e.r.store[key] = v
+	e.r.record(e.p, OpWrite, key, v)
+}
+
+// QueryFD queries this S-process's failure-detector module. The history is
+// evaluated at the current global step, which is the model's time.
+func (e *Env) QueryFD() Value {
+	if !e.p.id.IsS() {
+		panic(fmt.Sprintf("sim: C-process %v queried the failure detector", e.p.id))
+	}
+	e.await()
+	var v Value
+	if e.r.cfg.History != nil {
+		v = e.r.cfg.History.Query(e.p.id.Index, e.r.step)
+	}
+	e.r.record(e.p, OpQueryFD, "", v)
+	return v
+}
+
+// Decide records this C-process's decision. Subsequent steps are permitted
+// (they are the paper's null steps) but the decision is final; deciding
+// twice panics.
+func (e *Env) Decide(v Value) {
+	if !e.p.id.IsC() {
+		panic(fmt.Sprintf("sim: S-process %v attempted to decide", e.p.id))
+	}
+	if e.p.decided {
+		panic(fmt.Sprintf("sim: %v decided twice", e.p.id))
+	}
+	e.await()
+	e.p.decided = true
+	e.p.decision = v
+	e.r.record(e.p, OpDecide, "", v)
+}

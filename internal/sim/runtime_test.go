@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/ids"
+	"wfadvice/internal/vec"
+)
+
+// echoConfig builds a tiny system: each C-process writes its input and reads
+// it back, then decides it.
+func echoConfig(nc int, maxSteps int) Config {
+	inputs := vec.New(nc)
+	for i := range inputs {
+		inputs[i] = i * 10
+	}
+	return Config{
+		NC:     nc,
+		NS:     0,
+		Inputs: inputs,
+		CBody: func(i int) Body {
+			return func(e *Env) {
+				key := fmt.Sprintf("r/%d", i)
+				e.Write(key, e.Input())
+				v := e.Read(key)
+				e.Decide(v)
+			}
+		},
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: maxSteps,
+	}
+}
+
+func TestRuntimeEchoAllDecide(t *testing.T) {
+	rt, err := New(echoConfig(4, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(&RoundRobin{})
+	if res.Reason != ReasonAllDone {
+		t.Fatalf("reason = %v, want all-done", res.Reason)
+	}
+	for i := 0; i < 4; i++ {
+		if res.Outputs[i] != i*10 {
+			t.Errorf("p%d decided %v, want %d", i+1, res.Outputs[i], i*10)
+		}
+	}
+	if err := DecidedAll(res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuntimeDeterministic(t *testing.T) {
+	run := func(seed int64) []Event {
+		rt, err := New(echoConfig(5, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Run(NewRandom(seed)).Trace
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different traces:\n%v\n%v", a, b)
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Log("different seeds produced identical traces (possible but unlikely)")
+	}
+}
+
+func TestRuntimeMaxStepsStopsLoopers(t *testing.T) {
+	cfg := Config{
+		NC:     1,
+		NS:     1,
+		Inputs: vec.Of(7),
+		CBody: func(i int) Body {
+			return func(e *Env) {
+				for {
+					e.Read("nothing")
+				}
+			}
+		},
+		SBody: func(i int) Body {
+			return func(e *Env) {
+				for {
+					e.Write("beat", e.QueryFD())
+				}
+			}
+		},
+		Pattern:  fdet.FailureFree(1),
+		History:  fdet.Omega{}.History(fdet.FailureFree(1), 0, 1),
+		MaxSteps: 100,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(&RoundRobin{})
+	if res.Reason != ReasonMaxSteps {
+		t.Fatalf("reason = %v, want max-steps", res.Reason)
+	}
+	if res.Steps != 100 {
+		t.Fatalf("steps = %d, want 100", res.Steps)
+	}
+}
+
+func TestRuntimeCrashStopsSProcess(t *testing.T) {
+	pat := fdet.NewPattern(2, map[int]int{0: 10})
+	cfg := Config{
+		NC:     1,
+		NS:     2,
+		Inputs: vec.Of(1),
+		CBody: func(i int) Body {
+			return func(e *Env) {
+				for {
+					e.Read("x")
+				}
+			}
+		},
+		SBody: func(i int) Body {
+			return func(e *Env) {
+				for {
+					e.Write(fmt.Sprintf("s/%d", i), e.QueryFD())
+				}
+			}
+		},
+		Pattern:  pat,
+		History:  fdet.Trivial{}.History(pat, 0, 1),
+		MaxSteps: 300,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(&RoundRobin{})
+	for _, e := range res.Trace {
+		if e.Proc == ids.S(0) && e.Step >= 10 {
+			t.Fatalf("crashed q1 took a step at %d", e.Step)
+		}
+	}
+	// The correct S-process must keep going (fairness under round-robin).
+	if err := CheckFair(res, pat, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKGateEnforcesConcurrency(t *testing.T) {
+	const nc, k = 6, 2
+	inputs := vec.New(nc)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	cfg := Config{
+		NC:     nc,
+		Inputs: inputs,
+		CBody: func(i int) Body {
+			return func(e *Env) {
+				for j := 0; j < 5; j++ { // a few steps before deciding
+					e.Write(fmt.Sprintf("w/%d", i), j)
+				}
+				e.Decide(i)
+			}
+		},
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: 10_000,
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rt.Run(&KGate{K: k, Inner: NewRandom(seed)})
+		if err := DecidedAll(res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := MaxConcurrency(res); got > k {
+			t.Fatalf("seed %d: concurrency %d > %d", seed, got, k)
+		}
+	}
+}
+
+func TestPauseWindowAndExclude(t *testing.T) {
+	cfg := echoConfig(3, 2000)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(&PauseWindow{Proc: ids.C(0), From: 0, To: 50, Inner: &RoundRobin{}})
+	if err := DecidedAll(res); err != nil {
+		t.Fatal(err)
+	}
+	if ScheduledInWindow(res, ids.C(0), 0, 50) {
+		t.Fatal("paused process took a step inside the window")
+	}
+
+	rt2, err := New(echoConfig(3, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := rt2.Run(&Exclude{Procs: []ids.Proc{ids.C(1)}, Inner: &RoundRobin{}})
+	if res2.Outputs[1] != nil {
+		t.Fatal("excluded process decided")
+	}
+	if res2.Outputs[0] == nil || res2.Outputs[2] == nil {
+		t.Fatal("non-excluded processes should decide")
+	}
+	if res2.Participated[1] {
+		t.Fatal("excluded process should not participate")
+	}
+}
+
+func TestScriptedScheduleOrder(t *testing.T) {
+	cfg := echoConfig(2, 100)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []ids.Proc{ids.C(1), ids.C(1), ids.C(1), ids.C(0)}
+	res := rt.Run(&Scripted{Seq: seq, Tail: &RoundRobin{}})
+	if res.Trace[0].Proc != ids.C(1) || res.Trace[1].Proc != ids.C(1) || res.Trace[2].Proc != ids.C(1) {
+		t.Fatalf("scripted prefix not honored: %v", res.Trace[:4])
+	}
+	if err := DecidedAll(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonParticipantNotSpawned(t *testing.T) {
+	cfg := echoConfig(3, 100)
+	cfg.Inputs[1] = nil
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(&RoundRobin{})
+	if res.Participated[1] {
+		t.Fatal("non-participant took steps")
+	}
+	if res.Inputs[1] != nil {
+		t.Fatal("non-participant shows an input")
+	}
+	if res.Outputs[0] == nil || res.Outputs[2] == nil {
+		t.Fatal("participants should decide")
+	}
+}
+
+func TestMaxConcurrencyAnalyzer(t *testing.T) {
+	// Interleave two processes fully: concurrency 2; then a third alone.
+	res := &Result{
+		Trace: []Event{
+			{Step: 0, Proc: ids.C(0), Kind: OpWrite},
+			{Step: 1, Proc: ids.C(1), Kind: OpWrite},
+			{Step: 2, Proc: ids.C(0), Kind: OpDecide},
+			{Step: 3, Proc: ids.C(1), Kind: OpDecide},
+			{Step: 4, Proc: ids.C(2), Kind: OpWrite},
+			{Step: 5, Proc: ids.C(2), Kind: OpDecide},
+		},
+	}
+	if got := MaxConcurrency(res); got != 2 {
+		t.Fatalf("MaxConcurrency = %d, want 2", got)
+	}
+}

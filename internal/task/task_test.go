@@ -1,0 +1,158 @@
+package task
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wfadvice/internal/vec"
+)
+
+func TestAgreementValidate(t *testing.T) {
+	ks := NewSetAgreement(3, 2)
+	for _, tc := range []struct {
+		name    string
+		in, out vec.Vector
+		wantErr string
+	}{
+		{"all decide two values", vec.Of(1, 2, 3), vec.Of(1, 2, 1), ""},
+		{"partial output ok", vec.Of(1, 2, 3), vec.Of(nil, 2, nil), ""},
+		{"too many values", vec.Of(1, 2, 3), vec.Of(1, 2, 3), "distinct"},
+		{"unproposed value", vec.Of(1, 2, 3), vec.Of(9, nil, nil), "never proposed"},
+		{"non-participant decides", vec.Of(nil, 2, 3), vec.Of(2, 2, nil), "without participating"},
+	} {
+		err := ks.Validate(tc.in, tc.out)
+		if tc.wantErr == "" && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if tc.wantErr != "" && (err == nil || !strings.Contains(err.Error(), tc.wantErr)) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestConsensusIsOneSet(t *testing.T) {
+	c := NewConsensus(3)
+	if c.Name() != "consensus" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if err := c.Validate(vec.Of(1, 2, 3), vec.Of(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(vec.Of(1, 2, 3), vec.Of(1, 2, nil)); err == nil {
+		t.Fatal("two distinct decisions accepted by consensus")
+	}
+}
+
+func TestSubsetAgreementDomain(t *testing.T) {
+	u := NewSubsetAgreement(4, 1, []int{0, 1})
+	if err := u.InDomain(vec.Of(1, 2, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.InDomain(vec.Of(1, nil, 3, nil)); err == nil {
+		t.Fatal("participation outside U accepted")
+	}
+}
+
+func TestRenamingValidate(t *testing.T) {
+	r := NewRenaming(5, 3, 4)
+	in := vec.Of("a", "b", "c", nil, nil)
+	if err := r.Validate(in, vec.Of(1, 4, 2, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(in, vec.Of(1, 1, nil, nil, nil)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := r.Validate(in, vec.Of(5, nil, nil, nil, nil)); err == nil {
+		t.Fatal("out-of-range name accepted")
+	}
+	if err := r.Validate(in, vec.Of("x", nil, nil, nil, nil)); err == nil {
+		t.Fatal("non-int name accepted")
+	}
+	if err := r.InDomain(vec.Of("a", "b", "c", "d", nil)); err == nil {
+		t.Fatal("too many participants accepted")
+	}
+}
+
+func TestWSBValidate(t *testing.T) {
+	w := NewWSB(3)
+	in := vec.Of(1, 1, 1)
+	if err := w.Validate(in, vec.Of(0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(in, vec.Of(1, 1, 1)); err == nil {
+		t.Fatal("all-same outputs accepted with full participation")
+	}
+	// With partial participation or partial decisions all-same is fine.
+	if err := w.Validate(in, vec.Of(1, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(in, vec.Of(2, nil, nil)); err == nil {
+		t.Fatal("non-bit output accepted")
+	}
+}
+
+func TestIdentityValidate(t *testing.T) {
+	id := NewIdentity(2)
+	if err := id.Validate(vec.Of("x", "y"), vec.Of("x", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := id.Validate(vec.Of("x", "y"), vec.Of("y", nil)); err == nil {
+		t.Fatal("wrong identity output accepted")
+	}
+}
+
+// TestQuickSequentialExtension: for every zoo task, repeatedly extending a
+// partial output via the task's own sequential rule always yields outputs
+// its validator accepts — the property Proposition 1 relies on.
+func TestQuickSequentialExtension(t *testing.T) {
+	zoo := func(n int) []Sequential {
+		return []Sequential{
+			NewConsensus(n),
+			NewSetAgreement(n, 2),
+			NewStrongRenaming(n+1, n),
+			NewWSB(n),
+			NewIdentity(n),
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		for _, tk := range zoo(n) {
+			in := vec.New(tk.N())
+			order := rng.Perm(n)
+			for _, i := range order {
+				in[i] = rng.Intn(3) + 1
+			}
+			out := vec.New(tk.N())
+			for _, i := range order {
+				v, err := tk.Extend(in, out, i)
+				if err != nil {
+					return false
+				}
+				out[i] = v
+				if err := tk.Validate(in, out); err != nil {
+					t.Logf("%s: %v (in=%v out=%v)", tk.Name(), err, in, out)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorless(t *testing.T) {
+	if !Colorless(NewConsensus(3)) {
+		t.Fatal("agreement should be colorless")
+	}
+	if Colorless(NewRenaming(4, 3, 4)) {
+		t.Fatal("renaming should not be colorless")
+	}
+	if Colorless(NewWSB(3)) {
+		t.Fatal("WSB should not be colorless")
+	}
+}

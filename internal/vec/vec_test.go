@@ -1,0 +1,126 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	v := Of(1, nil, "x")
+	if v.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", v.Count())
+	}
+	if got := v.Participants(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Participants = %v", got)
+	}
+	if !v.Contains(1) || v.Contains(2) {
+		t.Fatal("Contains misbehaves")
+	}
+	if v.DistinctValues() != 2 {
+		t.Fatalf("DistinctValues = %d", v.DistinctValues())
+	}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	if v.String() != "[1 ⊥ x]" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestPrefixRelation(t *testing.T) {
+	full := Of(1, 2, 3)
+	for _, tc := range []struct {
+		p    Vector
+		want bool
+	}{
+		{Of(1, nil, nil), true},
+		{Of(nil, 2, 3), true},
+		{Of(1, 2, 3), true},
+		{Of(nil, nil, nil), false}, // no non-⊥ entry
+		{Of(9, nil, nil), false},
+		{Of(1, 2), false}, // length mismatch
+	} {
+		if got := tc.p.IsPrefixOf(full); got != tc.want {
+			t.Errorf("IsPrefixOf(%v, %v) = %v, want %v", tc.p, full, got, tc.want)
+		}
+	}
+}
+
+func TestPrefixesEnumeration(t *testing.T) {
+	v := Of(1, nil, 3)
+	ps := Prefixes(v)
+	if len(ps) != 3 { // {1}, {3}, {1,3}
+		t.Fatalf("got %d prefixes, want 3: %v", len(ps), ps)
+	}
+	for _, p := range ps {
+		if !p.IsPrefixOf(v) {
+			t.Errorf("%v is not a prefix of %v", p, v)
+		}
+	}
+}
+
+func TestPrefixClosed(t *testing.T) {
+	v := Of(1, 2)
+	closed := append([]Vector{v}, Prefixes(v)...)
+	if !PrefixClosed(closed) {
+		t.Fatal("closed set reported open")
+	}
+	if PrefixClosed([]Vector{v}) {
+		t.Fatal("open set reported closed")
+	}
+}
+
+func randomVector(rng *rand.Rand, n int) Vector {
+	v := New(n)
+	for i := range v {
+		if rng.Intn(3) > 0 {
+			v[i] = rng.Intn(5)
+		}
+	}
+	if v.Count() == 0 {
+		v[rng.Intn(n)] = 1
+	}
+	return v
+}
+
+func TestQuickPrefixProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	// Every enumerated prefix is a prefix; the count matches 2^p − 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomVector(rng, 1+rng.Intn(6))
+		ps := Prefixes(v)
+		if len(ps) != (1<<uint(v.Count()))-1 {
+			return false
+		}
+		for _, p := range ps {
+			if !p.IsPrefixOf(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Prefix relation is transitive.
+	g := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomVector(rng, 1+rng.Intn(6))
+		ps := Prefixes(v)
+		for _, a := range ps {
+			for _, b := range ps {
+				if a.IsPrefixOf(b) && b.IsPrefixOf(v) && !a.IsPrefixOf(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

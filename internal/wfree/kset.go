@@ -1,0 +1,95 @@
+package wfree
+
+import "wfadvice/internal/auto"
+
+// KSetRec is the record published by the k-concurrent k-set agreement
+// algorithm: the process's input and, once chosen and published, its output.
+type KSetRec struct {
+	In  auto.Value
+	Out auto.Value
+}
+
+// KSet is a restricted algorithm that solves k-set agreement in every
+// k-concurrent run (the witness that k-set agreement is k-concurrently
+// solvable, used throughout §4):
+//
+//	write (input, ⊥); repeat collect:
+//	  if some record carries a published output, adopt the one of the
+//	  smallest process index;
+//	  else if I am the smallest-index participant without a published
+//	  output, choose my own input;
+//	  publish (input, chosen) and decide after the publishing step.
+//
+// Why at most k distinct values are decided in a k-concurrent run: adopters
+// add no values, so every decided value is the input of a self-decider. A
+// self-decider's triggering collect sees no published output at all, so for
+// any two self-deciders x (publishing first) and y, x's publication follows
+// the start of y's participation — otherwise y's collect would have seen it
+// and y would have adopted. The undecided-participation intervals of the
+// self-deciders therefore pairwise intersect, and intervals on a line with
+// pairwise intersections share a common point (Helly's theorem in one
+// dimension): all self-deciders are simultaneously participating and
+// undecided. A k-concurrent run bounds that set by k.
+type KSet struct {
+	i      int
+	input  auto.Value
+	chosen auto.Value
+	phase  int // 0: choosing; 1: chosen published; 2: done
+}
+
+var _ auto.Automaton = (*KSet)(nil)
+
+// NewKSet returns the k-set agreement automaton for process i. The
+// concurrency bound k is a property of the run, not of the algorithm, so it
+// is not a parameter.
+func NewKSet(i int, input auto.Value) *KSet {
+	return &KSet{i: i, input: input}
+}
+
+// WriteValue implements auto.Automaton.
+func (a *KSet) WriteValue() auto.Value {
+	if a.phase == 0 {
+		return KSetRec{In: a.input}
+	}
+	return KSetRec{In: a.input, Out: a.chosen}
+}
+
+// OnView implements auto.Automaton.
+func (a *KSet) OnView(view auto.View) {
+	switch a.phase {
+	case 0:
+		// Adopt the published output of the smallest process index, if any.
+		for _, v := range view {
+			r, ok := v.(KSetRec)
+			if !ok || r.Out == nil {
+				continue
+			}
+			a.chosen = r.Out
+			a.phase = 1
+			return
+		}
+		// No published output: self-decide iff I am the smallest-index
+		// participant without a published output.
+		for j, v := range view {
+			r, ok := v.(KSetRec)
+			if !ok || r.Out != nil {
+				continue
+			}
+			if j == a.i {
+				a.chosen = a.input
+				a.phase = 1
+			}
+			return // the smallest such j is not me: keep waiting
+		}
+	case 1:
+		a.phase = 2
+	}
+}
+
+// Decided implements auto.Automaton.
+func (a *KSet) Decided() (auto.Value, bool) {
+	if a.phase == 2 {
+		return a.chosen, true
+	}
+	return nil, false
+}

@@ -1,0 +1,173 @@
+package wfree
+
+import (
+	"fmt"
+
+	"wfadvice/internal/auto"
+)
+
+// This file implements the machinery of Lemma 11 (strong 2-renaming cannot
+// be solved 2-concurrently). The proof is a reduction: if an algorithm A
+// solved (2,2)-renaming 2-concurrently then, by the pigeonhole principle,
+// two of the ≥3 processes obtain the same name v ∈ {1,2} in their solo runs
+// of A, and those two processes could solve wait-free 2-process consensus —
+// contradicting FLP. The reduction itself is constructive and runs here;
+// experiments use it both to audit the pigeonhole step on concrete
+// algorithms and to exhibit, for any candidate algorithm from our zoo, a
+// 2-concurrent schedule on which it fails strong renaming.
+
+// SoloName runs automaton a alone in an n-slot system and returns its
+// decision (its "solo name").
+func SoloName(n, i int, a auto.Automaton, maxSteps int) (auto.Value, error) {
+	autos := make([]auto.Automaton, n)
+	autos[i] = a
+	sys := auto.NewSystem(autos)
+	for s := 0; s < maxSteps; s++ {
+		if !sys.Step(i) {
+			break
+		}
+	}
+	if d, ok := sys.Decided(i); ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("wfree: solo run of slot %d did not decide in %d steps", i, maxSteps)
+}
+
+// PigeonholePair finds two process indices whose solo runs of the candidate
+// renaming algorithm decide the same name, as guaranteed by the pigeonhole
+// principle whenever n ≥ 3 processes choose names in {1,2}. factory(i)
+// builds process i's automaton.
+func PigeonholePair(n int, factory func(i int) auto.Automaton, maxSteps int) (a, b int, name int, err error) {
+	byName := make(map[int]int)
+	for i := 0; i < n; i++ {
+		d, err := SoloName(n, i, factory(i), maxSteps)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		name, ok := d.(int)
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("wfree: solo decision %v is not an int name", d)
+		}
+		if j, dup := byName[name]; dup {
+			return j, i, name, nil
+		}
+		byName[name] = i
+	}
+	return 0, 0, 0, fmt.Errorf("wfree: no solo-name collision among %d processes", n)
+}
+
+// ConsRec is the record published by the consensus-from-renaming reduction.
+type ConsRec struct {
+	In  auto.Value
+	Ren auto.Value // the wrapped renaming automaton's register
+}
+
+// RenConsensus is the Lemma 11 reduction: two processes that share solo name
+// 1 in algorithm A solve consensus by publishing their inputs, running A,
+// and deciding their own input on name 1 and the other's input otherwise.
+type RenConsensus struct {
+	i     int
+	other int
+	input auto.Value
+	ren   auto.Automaton
+
+	renWrite auto.Value
+	otherIn  auto.Value
+	decision auto.Value
+	phase    int // 0: running; 1: done
+}
+
+var _ auto.Automaton = (*RenConsensus)(nil)
+
+// NewRenConsensus wraps process i's renaming automaton; other is the peer's
+// slot index.
+func NewRenConsensus(i, other int, input auto.Value, ren auto.Automaton) *RenConsensus {
+	return &RenConsensus{i: i, other: other, input: input, ren: ren}
+}
+
+// WriteValue implements auto.Automaton.
+func (c *RenConsensus) WriteValue() auto.Value {
+	return ConsRec{In: c.input, Ren: c.renWrite}
+}
+
+// OnView implements auto.Automaton.
+func (c *RenConsensus) OnView(view auto.View) {
+	if c.phase != 0 {
+		return
+	}
+	if r, ok := view[c.other].(ConsRec); ok {
+		c.otherIn = r.In
+	}
+	if c.renWrite != nil {
+		// Our previous step published a renaming write; feed A its collect.
+		c.ren.OnView(extractRen(view))
+		if d, ok := c.ren.Decided(); ok {
+			name, _ := d.(int)
+			if name == 1 {
+				c.decision = c.input
+			} else {
+				// A name other than 1 implies the peer participates in the
+				// renaming run, hence its input is visible.
+				c.decision = c.otherIn
+			}
+			c.phase = 1
+			return
+		}
+	}
+	c.renWrite = c.ren.WriteValue() // stage the next step of A
+}
+
+// Decided implements auto.Automaton.
+func (c *RenConsensus) Decided() (auto.Value, bool) {
+	if c.phase == 1 {
+		return c.decision, true
+	}
+	return nil, false
+}
+
+func extractRen(view auto.View) auto.View {
+	out := make(auto.View, len(view))
+	for j, v := range view {
+		if r, ok := v.(ConsRec); ok {
+			out[j] = r.Ren
+		}
+	}
+	return out
+}
+
+// FindRenamingViolation searches seeded 2-concurrent schedules of the given
+// renaming automata for a run violating strong (j,j)-renaming: a duplicate
+// name, a name outside {1..j}, or non-termination within the budget. It
+// returns a description of the violating run, or an error if none is found
+// within the given number of schedules — the empirical witness that a
+// candidate algorithm does not solve strong renaming 2-concurrently
+// (Lemma 11 guarantees such a witness exists for every candidate).
+func FindRenamingViolation(n, j int, factory func(i int) auto.Automaton, schedules [][]int, maxName int) (string, error) {
+	for si, sched := range schedules {
+		autos := make([]auto.Automaton, n)
+		for i := 0; i < j; i++ { // first j slots participate
+			autos[i] = factory(i)
+		}
+		sys := auto.NewSystem(autos)
+		sys.RunSchedule(sched)
+		names := make(map[int]int)
+		for i := 0; i < j; i++ {
+			d, ok := sys.Decided(i)
+			if !ok {
+				continue
+			}
+			name, isInt := d.(int)
+			if !isInt {
+				return fmt.Sprintf("schedule %d: p%d decided non-name %v", si, i+1, d), nil
+			}
+			if name > maxName {
+				return fmt.Sprintf("schedule %d: p%d decided name %d > %d", si, i+1, name, maxName), nil
+			}
+			if prev, dup := names[name]; dup {
+				return fmt.Sprintf("schedule %d: p%d and p%d both decided %d", si, prev+1, i+1, name), nil
+			}
+			names[name] = i
+		}
+	}
+	return "", fmt.Errorf("wfree: no strong-renaming violation found in %d schedules", len(schedules))
+}

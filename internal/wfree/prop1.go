@@ -1,0 +1,89 @@
+// Package wfree implements the paper's restricted algorithms — algorithms in
+// which S-processes take only null steps (§2.2) — as collect automata:
+// Proposition 1's universal 1-concurrent solver, a k-concurrent k-set
+// agreement algorithm, the Figure 4 k-concurrent (j, j+k−1)-renaming
+// algorithm, the Figure 3 1-resilient strong renaming construction, and the
+// Lemma 11 consensus-from-strong-renaming reduction.
+package wfree
+
+import (
+	"fmt"
+
+	"wfadvice/internal/auto"
+	"wfadvice/internal/task"
+	"wfadvice/internal/vec"
+)
+
+// Prop1Rec is the full-information record published by the Proposition 1
+// solver: the process's input and, once chosen, its output.
+type Prop1Rec struct {
+	In  auto.Value
+	Out auto.Value
+}
+
+// Prop1 is the algorithm of Proposition 1 (every task is 1-concurrently
+// solvable): write the input, collect the inputs and outputs already
+// written, choose an output extending the observed partial output vector
+// according to ∆, publish it, and decide.
+type Prop1 struct {
+	t     task.Sequential
+	i     int
+	input auto.Value
+	out   auto.Value
+	phase int // 0: published input; 1: published output; 2: done
+	err   error
+}
+
+var _ auto.Automaton = (*Prop1)(nil)
+
+// NewProp1 returns the Proposition 1 automaton for process i of task t.
+func NewProp1(t task.Sequential, i int, input auto.Value) *Prop1 {
+	return &Prop1{t: t, i: i, input: input}
+}
+
+// WriteValue implements auto.Automaton.
+func (p *Prop1) WriteValue() auto.Value {
+	if p.phase == 0 {
+		return Prop1Rec{In: p.input}
+	}
+	return Prop1Rec{In: p.input, Out: p.out}
+}
+
+// OnView implements auto.Automaton.
+func (p *Prop1) OnView(view auto.View) {
+	switch p.phase {
+	case 0:
+		in := vec.New(p.t.N())
+		out := vec.New(p.t.N())
+		for j, v := range view {
+			r, ok := v.(Prop1Rec)
+			if !ok {
+				continue
+			}
+			in[j] = r.In
+			out[j] = r.Out
+		}
+		out[p.i] = nil // by construction we have not decided yet
+		val, err := p.t.Extend(in, out, p.i)
+		if err != nil {
+			p.err = fmt.Errorf("wfree: prop1 extension for p%d: %w", p.i+1, err)
+			return
+		}
+		p.out = val
+		p.phase = 1
+	case 1:
+		p.phase = 2
+	}
+}
+
+// Decided implements auto.Automaton.
+func (p *Prop1) Decided() (auto.Value, bool) {
+	if p.phase == 2 {
+		return p.out, true
+	}
+	return nil, false
+}
+
+// Err reports a failed extension (a task misuse; never happens in
+// 1-concurrent runs of the zoo tasks).
+func (p *Prop1) Err() error { return p.err }

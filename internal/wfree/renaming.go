@@ -1,0 +1,105 @@
+package wfree
+
+import "sort"
+
+import "wfadvice/internal/auto"
+
+// RenRec is the register content R_i = (i, s, b) of the Figure 4 renaming
+// algorithm: process identity, suggested name, and whether the process is
+// still trying (b = true) or has committed to the name (b = false).
+type RenRec struct {
+	ID     int
+	S      int
+	Trying bool
+}
+
+// Renaming is the Figure 4 algorithm: a k-concurrent (j, j+k−1)-renaming
+// algorithm mimicking Attiya et al.'s wait-free (j, 2j−1)-renaming.
+//
+//	s := 1
+//	repeat:
+//	  R_i := (i, s, true)            — register/suggest the name s
+//	  S := collect
+//	  if some other process also suggests s:
+//	    r := rank of i among the still-trying participants in S
+//	    s := the r-th positive integer not suggested by others in S
+//	  else:
+//	    R_i := (i, s, false); return s
+//
+// In a run with at most j participants of which at most k are concurrently
+// undecided, a process observes at most j−1 foreign suggestions and has rank
+// at most k, so the highest name ever suggested is j+k−1 (Theorem 15).
+type Renaming struct {
+	i     int
+	s     int
+	phase int // 0: published (i,s,true); 1: published (i,s,false); 2: done
+}
+
+var _ auto.Automaton = (*Renaming)(nil)
+
+// NewRenaming returns the Figure 4 automaton for process i.
+func NewRenaming(i int) *Renaming { return &Renaming{i: i, s: 1} }
+
+// WriteValue implements auto.Automaton.
+func (a *Renaming) WriteValue() auto.Value {
+	return RenRec{ID: a.i, S: a.s, Trying: a.phase == 0}
+}
+
+// OnView implements auto.Automaton.
+func (a *Renaming) OnView(view auto.View) {
+	switch a.phase {
+	case 0:
+		conflict := false
+		var tryingIDs []int
+		suggestedByOthers := make(map[int]bool)
+		for _, v := range view {
+			r, ok := v.(RenRec)
+			if !ok {
+				continue
+			}
+			if r.ID != a.i {
+				suggestedByOthers[r.S] = true
+				if r.S == a.s {
+					conflict = true
+				}
+			}
+			if r.Trying {
+				tryingIDs = append(tryingIDs, r.ID)
+			}
+		}
+		if !conflict {
+			a.phase = 1 // next step publishes (i, s, false)
+			return
+		}
+		sort.Ints(tryingIDs)
+		rank := 0
+		for idx, id := range tryingIDs {
+			if id == a.i {
+				rank = idx + 1
+				break
+			}
+		}
+		if rank == 0 {
+			rank = 1 // own record is always in the view; defensive only
+		}
+		// s := the rank-th positive integer not suggested by others.
+		s, free := 0, 0
+		for free < rank {
+			s++
+			if !suggestedByOthers[s] {
+				free++
+			}
+		}
+		a.s = s
+	case 1:
+		a.phase = 2
+	}
+}
+
+// Decided implements auto.Automaton.
+func (a *Renaming) Decided() (auto.Value, bool) {
+	if a.phase == 2 {
+		return a.s, true
+	}
+	return nil, false
+}

@@ -1,0 +1,129 @@
+package wfree
+
+import "wfadvice/internal/auto"
+
+// F3Rec is the register content of the Figure 3 construction: the outer
+// R_i flag (1 = participating and undecided, 0 = decided) plus the wrapped
+// inner algorithm's current register value.
+type F3Rec struct {
+	R     int
+	Inner auto.Value
+}
+
+// StrongRenaming is the Figure 3 construction: given an algorithm A that
+// solves strong j-renaming in all 2-concurrent runs, it solves strong
+// j-renaming in all 1-resilient runs (at least j−1 of the at most j
+// participants keep taking steps). A process advances A only while it is
+// among the two smallest-id not-yet-decided participants of a full house
+// (|S| = j), or the single smallest of a house of j−1 — so the inner run is
+// 2-concurrent by construction. The paper uses this construction to lift the
+// 2-concurrent impossibility (Lemma 11) to all j (Theorem 12).
+type StrongRenaming struct {
+	i, j       int
+	inner      auto.Automaton
+	innerWrite auto.Value
+	started    bool
+	// pendingInnerView records that a staged inner write has been published
+	// and still awaits its collect.
+	pendingInnerView bool
+	phase            int // 0: running; 1: published R=0; 2: done
+	name             auto.Value
+}
+
+var _ auto.Automaton = (*StrongRenaming)(nil)
+
+// NewStrongRenaming wraps inner (process i's code of the 2-concurrent
+// algorithm) for a system with at most j participants.
+func NewStrongRenaming(i, j int, inner auto.Automaton) *StrongRenaming {
+	return &StrongRenaming{i: i, j: j, inner: inner}
+}
+
+// WriteValue implements auto.Automaton.
+func (a *StrongRenaming) WriteValue() auto.Value {
+	r := 1
+	if a.phase >= 1 {
+		r = 0
+	}
+	return F3Rec{R: r, Inner: a.innerWrite}
+}
+
+// OnView implements auto.Automaton.
+func (a *StrongRenaming) OnView(view auto.View) {
+	if a.phase == 1 {
+		a.phase = 2
+		return
+	}
+	if a.phase != 0 {
+		return
+	}
+	if a.started {
+		// The view follows a step in which our inner write (if any) was
+		// published; feed the inner automaton its collect.
+		if a.pendingInnerView {
+			a.inner.OnView(extractInner(view))
+			a.pendingInnerView = false
+			if d, ok := a.inner.Decided(); ok {
+				a.name = d
+				a.phase = 1 // next step publishes R_i := 0
+				return
+			}
+		}
+	}
+	// Figure 3 lines 39–44: decide whether we may take one more step of A.
+	var s, sPrime []int
+	for j, v := range view {
+		r, ok := v.(F3Rec)
+		if !ok {
+			continue
+		}
+		s = append(s, j)
+		if r.R == 1 {
+			sPrime = append(sPrime, j)
+		}
+	}
+	min1, min2 := -1, -1
+	if len(sPrime) > 0 {
+		min1 = sPrime[0]
+		min2 = min1
+		if len(sPrime) > 1 {
+			min2 = sPrime[1]
+		}
+	}
+	permitted := (len(s) == a.j && (a.i == min1 || a.i == min2)) ||
+		(len(s) == a.j-1 && a.i == min1)
+	if permitted {
+		// Take one more step of A: stage its write; the next outer step
+		// publishes it, and the following view feeds A.
+		a.innerWrite = a.inner.WriteValue()
+		a.pendingInnerView = true
+		a.started = true
+	}
+}
+
+// Decided implements auto.Automaton.
+func (a *StrongRenaming) Decided() (auto.Value, bool) {
+	if a.phase == 2 {
+		return a.name, true
+	}
+	return nil, false
+}
+
+// InnerActive reports whether the wrapped algorithm has started and not yet
+// decided — the quantity the construction keeps at ≤ 2 concurrently.
+func (a *StrongRenaming) InnerActive() bool {
+	if !a.started {
+		return false
+	}
+	_, done := a.inner.Decided()
+	return !done
+}
+
+func extractInner(view auto.View) auto.View {
+	out := make(auto.View, len(view))
+	for j, v := range view {
+		if r, ok := v.(F3Rec); ok {
+			out[j] = r.Inner
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package wfree
+
+import (
+	"fmt"
+
+	"wfadvice/internal/auto"
+	"wfadvice/internal/task"
+	"wfadvice/internal/vec"
+)
+
+// This file constructs the impossibility-side witnesses of the hierarchy
+// (Theorem 10): runs that demonstrate a k-concurrent algorithm failing at
+// concurrency k+1. Each constructor returns a concrete violating run
+// description or an error if the candidate unexpectedly survives.
+
+// KSetViolationAtKPlus1 builds the classic (k+1)-concurrent run in which the
+// k-set agreement algorithm decides k+1 distinct values: admit the k+1
+// processes in descending index order and stall each right after it chooses
+// (but before it publishes), so each sees itself as the smallest undecided
+// participant. The run witnesses that the algorithm does not solve k-set
+// agreement (k+1)-concurrently — consistent with the fact that no algorithm
+// does.
+func KSetViolationAtKPlus1(n, k int) (string, error) {
+	if k+1 > n {
+		return "", fmt.Errorf("need n ≥ k+1")
+	}
+	inputs := vec.New(n)
+	autos := make([]auto.Automaton, n)
+	for i := 0; i < k+1; i++ {
+		inputs[i] = 100 + i
+		autos[i] = NewKSet(i, inputs[i])
+	}
+	sys := auto.NewSystem(autos)
+	// Descending order: each process's first view shows only larger-index
+	// undecided participants, so it self-chooses.
+	for i := k; i >= 0; i-- {
+		sys.Step(i) // publish input; view → choose own input (min undecided)
+	}
+	// Now let everyone publish and decide.
+	for round := 0; round < 4; round++ {
+		for i := 0; i <= k; i++ {
+			sys.Step(i)
+		}
+	}
+	out := vec.New(n)
+	distinct := make(map[auto.Value]bool)
+	for i := 0; i <= k; i++ {
+		d, ok := sys.Decided(i)
+		if !ok {
+			return "", fmt.Errorf("p%d undecided in violation run", i+1)
+		}
+		out[i] = d
+		distinct[d] = true
+	}
+	if len(distinct) <= k {
+		return "", fmt.Errorf("only %d distinct decisions; no violation", len(distinct))
+	}
+	err := task.NewSetAgreement(n, k).Validate(inputs, out)
+	if err == nil {
+		return "", fmt.Errorf("validator accepted the run; no violation")
+	}
+	return fmt.Sprintf("(k+1)-concurrent run with %d distinct decisions: %v", len(distinct), err), nil
+}

@@ -1,0 +1,222 @@
+// Package wfadvice is a Go implementation of the external-failure-detection
+// (EFD) model and results of "Wait-Freedom with Advice" (Delporte-Gallet,
+// Fauconnier, Gafni, Kuznetsov; PODC 2012).
+//
+// The package re-exports the library's layers:
+//
+//   - the task formalism and zoo (consensus, k-set agreement, renaming,
+//     weak symmetry breaking): Task, NewConsensus, NewSetAgreement, ...
+//   - failure patterns, environments and detectors (Ω, ¬Ωk, vector-Ωk, the
+//     §2.3 counterexample): Pattern, Detector, Omega, AntiOmegaK, ...
+//   - the step-level shared-memory runtime for EFD systems: Config,
+//     Runtime, Scheduler, plus trace analyzers (CheckTask, MaxConcurrency,
+//     CheckWaitFree, ...)
+//   - the restricted algorithms of the paper's figures (Prop 1, Figure 3,
+//     Figure 4, k-set agreement) as collect automata
+//   - the solvers and reductions: the direct vector-Ωk agreement solver,
+//     the generic Theorem 9 machine, the Figure 1 ¬Ωk extraction, and the
+//     Theorem 7 puzzle pipeline
+//   - the experiment harness regenerating EXPERIMENTS.md (E1–E12).
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package wfadvice
+
+import (
+	"wfadvice/internal/auto"
+	"wfadvice/internal/bg"
+	"wfadvice/internal/core"
+	"wfadvice/internal/exp"
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/ids"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/task"
+	"wfadvice/internal/vec"
+	"wfadvice/internal/wfree"
+)
+
+// Process identities.
+type (
+	// Proc identifies a process (C or S side).
+	Proc = ids.Proc
+)
+
+// C returns the identity of the i-th computation process (zero-based).
+func C(i int) Proc { return ids.C(i) }
+
+// S returns the identity of the i-th synchronization process (zero-based).
+func S(i int) Proc { return ids.S(i) }
+
+// Task formalism and zoo.
+type (
+	// Vector is a task input/output vector (nil entries are ⊥).
+	Vector = vec.Vector
+	// Task is a decision task (I, O, ∆).
+	Task = task.Task
+	// SequentialTask additionally exposes the sequential extension rule
+	// used by the Proposition 1 solver.
+	SequentialTask = task.Sequential
+	// Agreement is the (U,k)-agreement family.
+	Agreement = task.Agreement
+	// Renaming is the (j,ℓ)-renaming family.
+	Renaming = task.Renaming
+)
+
+// Task constructors.
+var (
+	NewConsensus       = task.NewConsensus
+	NewSetAgreement    = task.NewSetAgreement
+	NewSubsetAgreement = task.NewSubsetAgreement
+	NewRenaming        = task.NewRenaming
+	NewStrongRenaming  = task.NewStrongRenaming
+	NewWSB             = task.NewWSB
+	NewIdentity        = task.NewIdentity
+	NewVector          = vec.New
+	VectorOf           = vec.Of
+)
+
+// Failure detection.
+type (
+	// Pattern is a failure pattern over the S-processes.
+	Pattern = fdet.Pattern
+	// Environment is a set of failure patterns.
+	Environment = fdet.Environment
+	// EnvT is the environment E_t (at most t crashes).
+	EnvT = fdet.EnvT
+	// History is a failure-detector history H(q, τ).
+	History = fdet.History
+	// Detector generates histories from failure patterns.
+	Detector = fdet.Detector
+	// Omega is the Ω leader detector (≡ ¬Ω1).
+	Omega = fdet.Omega
+	// AntiOmegaK is the ¬Ωk detector — the weakest detector of hierarchy
+	// level k (Theorem 10).
+	AntiOmegaK = fdet.AntiOmegaK
+	// VectorOmegaK is the equivalent vector form consumed by Figure 2.
+	VectorOmegaK = fdet.VectorOmegaK
+	// FirstAlive is the §2.3 separation detector.
+	FirstAlive = fdet.FirstAlive
+	// Trivial is the detector that always outputs ⊥.
+	Trivial = fdet.Trivial
+	// DAG is a Chandra–Toueg sample of a detector history (Figure 1).
+	DAG = fdet.DAG
+)
+
+// Failure-pattern constructors and auditors.
+var (
+	NewPattern         = fdet.NewPattern
+	FailureFree        = fdet.FailureFree
+	BuildDAG           = fdet.BuildDAG
+	RoundRobinSchedule = fdet.RoundRobinSchedule
+	CheckOmega         = fdet.CheckOmega
+	CheckAntiOmegaK    = fdet.CheckAntiOmegaK
+	CheckVectorOmegaK  = fdet.CheckVectorOmegaK
+)
+
+// Runtime.
+type (
+	// Config describes an EFD system to execute.
+	Config = sim.Config
+	// Runtime executes one system, one scheduled step at a time.
+	Runtime = sim.Runtime
+	// Env is a process's handle to shared memory and advice.
+	Env = sim.Env
+	// Body is a process program.
+	Body = sim.Body
+	// Result captures a finished run.
+	Result = sim.Result
+	// Scheduler picks the next process to step.
+	Scheduler = sim.Scheduler
+	// RoundRobin is the canonical fair scheduler.
+	RoundRobin = sim.RoundRobin
+	// KGate enforces k-concurrency (§2.2).
+	KGate = sim.KGate
+	// PauseWindow suspends one process for a window (wait-freedom demos).
+	PauseWindow = sim.PauseWindow
+	// Exclude removes processes from scheduling forever.
+	Exclude = sim.Exclude
+	// Personified couples C-scheduling to S-liveness (§2.3).
+	Personified = sim.Personified
+	// StopWhenDecided ends a run once every C-process decided.
+	StopWhenDecided = sim.StopWhenDecided
+)
+
+// Runtime constructors and analyzers.
+var (
+	NewRuntime      = sim.New
+	NewRandomSched  = sim.NewRandom
+	CheckTask       = sim.CheckTask
+	CheckWaitFree   = sim.CheckWaitFree
+	CheckFair       = sim.CheckFair
+	DecidedAll      = sim.DecidedAll
+	MaxConcurrency  = sim.MaxConcurrency
+	ScheduledInWind = sim.ScheduledInWindow
+)
+
+// Restricted algorithms (collect automata) and their substrate.
+type (
+	// Automaton is a collect automaton (write + collect per step).
+	Automaton = auto.Automaton
+	// AutoSystem executes automata deterministically in-process.
+	AutoSystem = auto.System
+	// BGSimulator is one Borowsky–Gafni simulator.
+	BGSimulator = bg.Simulator
+)
+
+// Automaton constructors.
+var (
+	NewAutoSystem     = auto.NewSystem
+	RunAutomatonOnEnv = auto.RunOnEnv
+	AutomatonBody     = auto.Body
+	NewProp1          = wfree.NewProp1
+	NewKSetAutomaton  = wfree.NewKSet
+	NewRenamingFig4   = wfree.NewRenaming
+	NewStrongRenFig3  = wfree.NewStrongRenaming
+	NewBGSimulator    = bg.NewSimulator
+	RunBG             = bg.Run
+)
+
+// Solvers and reductions.
+type (
+	// DirectConfig is the direct vector-Ωk agreement solver.
+	DirectConfig = core.DirectConfig
+	// MachineConfig is the generic Theorem 9 solver (and Figure 2 lanes).
+	MachineConfig = core.MachineConfig
+	// SHelperConfig is the Proposition 2 construction.
+	SHelperConfig = core.SHelperConfig
+	// WitnessConfig configures the Figure 1 extraction witness.
+	WitnessConfig = core.WitnessConfig
+	// ExploreConfig configures the bounded Figure 1 corridor DFS.
+	ExploreConfig = core.ExploreConfig
+	// ExtractResult is an emulated ¬Ωk output stream.
+	ExtractResult = core.ExtractResult
+	// PuzzleConfig configures the Theorem 7 pipeline.
+	PuzzleConfig = core.PuzzleConfig
+	// SimAlg is an EFD algorithm in simulable (Figure 1) form.
+	SimAlg = core.SimAlg
+	// DirectSimAlg is the direct solver in simulable form.
+	DirectSimAlg = core.DirectSimAlg
+)
+
+// Solver entry points.
+var (
+	VectorLeader         = core.VectorLeader
+	OmegaLeader          = core.OmegaLeader
+	ExtractWitness       = core.ExtractWitness
+	ExploreCorridors     = core.ExploreCorridors
+	CheckAntiOmegaStream = core.CheckAntiOmegaStream
+	RunPuzzle            = core.RunPuzzle
+	VectorToAnti         = core.VectorToAnti
+	NewAsimMachine       = core.NewAsimMachine
+	InKey                = core.InKey
+)
+
+// Experiments.
+type (
+	// ExpTable is one regenerated experiment table.
+	ExpTable = exp.Table
+	// ExpRunner produces one experiment table.
+	ExpRunner = exp.Runner
+)
+
+// AllExperiments returns the E1–E12 runners.
+var AllExperiments = exp.All
