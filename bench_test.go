@@ -1,15 +1,17 @@
 package wfadvice_test
 
 // One benchmark per experiment family (E1–E12): each measures the cost of
-// regenerating the corresponding EXPERIMENTS.md table row set, plus
-// micro-benchmarks for the substrates the solvers are built on (the step
-// runtime, shared-memory consensus, and the BG simulation). Run with
+// regenerating the corresponding EXPERIMENTS.md table row set on the
+// parallel engine, plus micro-benchmarks for the substrates the solvers are
+// built on (the step runtime, shared-memory consensus, and the BG
+// simulation). Run with
 //
 //	go test -bench=. -benchmem
 //
-// Absolute times are machine-local; what matters for the reproduction is
-// that every benchmark's internal validity checks pass (a failing claim
-// aborts the benchmark).
+// Under -short the engine uses the reduced grids (the CI smoke
+// configuration). Absolute times are machine-local; what matters for the
+// reproduction is that every benchmark's internal validity checks pass (a
+// failing claim aborts the benchmark).
 
 import (
 	"fmt"
@@ -19,28 +21,46 @@ import (
 	"wfadvice/internal/exp"
 )
 
-func benchExperiment(b *testing.B, id string, run func() *wfadvice.ExpTable) {
+func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	x, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	eng := exp.NewEngine(exp.Options{Seed: exp.DefaultSeed, Short: testing.Short()})
 	for i := 0; i < b.N; i++ {
-		tbl := run()
+		tbl := eng.Run(x)
 		if tbl.Failures > 0 {
 			b.Fatalf("%s: %d failures", id, tbl.Failures)
 		}
 	}
 }
 
-func BenchmarkE1Prop1(b *testing.B)          { benchExperiment(b, "E1", exp.E1Prop1) }
-func BenchmarkE2SHelpers(b *testing.B)       { benchExperiment(b, "E2", exp.E2SHelpers) }
-func BenchmarkE3Separation(b *testing.B)     { benchExperiment(b, "E3", exp.E3Separation) }
-func BenchmarkE4KCodes(b *testing.B)         { benchExperiment(b, "E4", exp.E4KCodes) }
-func BenchmarkE5SolveKSet(b *testing.B)      { benchExperiment(b, "E5", exp.E5SolveKSet) }
-func BenchmarkE6SolveRenaming(b *testing.B)  { benchExperiment(b, "E6", exp.E6SolveRenaming) }
-func BenchmarkE7Extraction(b *testing.B)     { benchExperiment(b, "E7", exp.E7Extraction) }
-func BenchmarkE8Puzzle(b *testing.B)         { benchExperiment(b, "E8", exp.E8Puzzle) }
-func BenchmarkE9StrongRenaming(b *testing.B) { benchExperiment(b, "E9", exp.E9StrongRenaming) }
-func BenchmarkE10RenamingSweep(b *testing.B) { benchExperiment(b, "E10", exp.E10RenamingSweep) }
-func BenchmarkE11Hierarchy(b *testing.B)     { benchExperiment(b, "E11", exp.E11Hierarchy) }
-func BenchmarkE12BG(b *testing.B)            { benchExperiment(b, "E12", exp.E12BG) }
+func BenchmarkE1Prop1(b *testing.B)          { benchExperiment(b, "E1") }
+func BenchmarkE2SHelpers(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3Separation(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE4KCodes(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkE5SolveKSet(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6SolveRenaming(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7Extraction(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8Puzzle(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9StrongRenaming(b *testing.B) { benchExperiment(b, "E9") }
+func BenchmarkE10RenamingSweep(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11Hierarchy(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12BG(b *testing.B)            { benchExperiment(b, "E12") }
+
+// BenchmarkAllExperiments measures one full serial regeneration pass with
+// the engine's internal parallelism only (the efd-bench configuration).
+func BenchmarkAllExperiments(b *testing.B) {
+	eng := wfadvice.NewExpEngine(wfadvice.ExpOptions{Seed: exp.DefaultSeed, Short: testing.Short()})
+	for i := 0; i < b.N; i++ {
+		for _, tbl := range eng.RunAll(wfadvice.Experiments()) {
+			if tbl.Failures > 0 {
+				b.Fatalf("%s: %d failures", tbl.ID, tbl.Failures)
+			}
+		}
+	}
+}
 
 // BenchmarkRuntimeStep measures the raw cost of one scheduled shared-memory
 // step in the lockstep runtime.

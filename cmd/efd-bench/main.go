@@ -2,52 +2,124 @@
 // (E1–E12), each validating one proposition, theorem or algorithm figure of
 // "Wait-Freedom with Advice".
 //
+// Trials run on a worker pool and are seeded per (experiment, cell, seed)
+// triple, so for a fixed -seed the output is byte-identical for every
+// -parallel value (absent -timeout, whose wall-clock cutoff may fire
+// differently under different load).
+//
 // Usage:
 //
-//	efd-bench [-only E5,E7] [-list]
+//	efd-bench [-only E5,E7] [-list] [-parallel N] [-seed S] [-trials M]
+//	          [-timeout D] [-short] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
 	"time"
 
 	"wfadvice/internal/exp"
 )
 
+// expReport is the -json record for one experiment.
+type expReport struct {
+	Name string `json:"name"`
+	*exp.Table
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	Seed        int64       `json:"seed"`
+	Parallelism int         `json:"parallelism"`
+	Trials      int         `json:"trials"`
+	Short       bool        `json:"short"`
+	Experiments []expReport `json:"experiments"`
+	Failures    int         `json:"failures"`
+	WallMS      float64     `json:"wall_ms"`
+}
+
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
-	list := flag.Bool("list", false, "list experiments and exit")
+	var (
+		only     = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", exp.DefaultSeed, "root seed; every trial derives its own from (experiment, cell, seed)")
+		trials   = flag.Int("trials", 1, "trial multiplier for the sweep experiments")
+		timeout  = flag.Duration("timeout", 0, "per-trial timeout (0 = none); a timed-out trial is a failure row")
+		short    = flag.Bool("short", false, "use the reduced -short experiment grids")
+		jsonOut  = flag.Bool("json", false, "emit tables as JSON on stdout instead of text")
+	)
 	flag.Parse()
 
-	runners := exp.All()
+	experiments, err := exp.Select(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efd-bench: %v\n", err)
+		os.Exit(2)
+	}
 	if *list {
-		for _, r := range runners {
-			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		for _, x := range experiments {
+			fmt.Printf("%-4s %s\n", x.ID, x.Name)
 		}
 		return
 	}
-	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToUpper(id))] = true
-		}
+
+	eng := exp.NewEngine(exp.Options{
+		Parallelism: *parallel,
+		Seed:        *seed,
+		TrialMult:   *trials,
+		Timeout:     *timeout,
+		Short:       *short,
+	})
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	failures := 0
-	for _, r := range runners {
-		if len(want) > 0 && !want[r.ID] {
-			continue
-		}
+	rep := report{Seed: *seed, Parallelism: workers, Trials: *trials, Short: *short}
+	var slowest expReport
+	wallStart := time.Now()
+	for _, x := range experiments {
 		start := time.Now()
-		tbl := r.Run()
-		fmt.Print(tbl.Render())
-		fmt.Printf("   elapsed: %.1fs\n\n", time.Since(start).Seconds())
-		failures += tbl.Failures
+		tbl := eng.Run(x)
+		elapsed := time.Since(start)
+		er := expReport{Name: x.Name, Table: tbl, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+		rep.Experiments = append(rep.Experiments, er)
+		rep.Failures += tbl.Failures
+		if slowest.Table == nil || er.ElapsedMS > slowest.ElapsedMS {
+			slowest = er
+		}
+		if !*jsonOut {
+			fmt.Print(tbl.Render())
+			fmt.Printf("   elapsed: %.1fs\n\n", elapsed.Seconds())
+		}
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "efd-bench: %d failures\n", failures)
+	rep.WallMS = float64(time.Since(wallStart).Microseconds()) / 1000
+
+	if *jsonOut {
+		encoder := json.NewEncoder(os.Stdout)
+		encoder.SetIndent("", "  ")
+		if err := encoder.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "efd-bench: encoding report: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	// One greppable summary line aggregating wall time and failures; on
+	// stderr under -json so stdout stays pure JSON.
+	out := os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
+	slowestID := "-"
+	if slowest.Table != nil {
+		slowestID = fmt.Sprintf("%s:%.2fs", slowest.ID, slowest.ElapsedMS/1000)
+	}
+	fmt.Fprintf(out, "efd-bench: experiments=%d failures=%d wall=%.2fs slowest=%s seed=%d parallel=%d\n",
+		len(rep.Experiments), rep.Failures, rep.WallMS/1000, slowestID, *seed, workers)
+	if rep.Failures > 0 {
 		os.Exit(1)
 	}
 }

@@ -11,7 +11,12 @@ import (
 )
 
 func main() {
-	tbl := exp.E11Hierarchy()
+	x, ok := exp.ByID("E11")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "efd-hierarchy: E11 not registered")
+		os.Exit(2)
+	}
+	tbl := exp.NewEngine(exp.Options{Seed: exp.DefaultSeed}).Run(x)
 	fmt.Print(tbl.Render())
 	if tbl.Failures > 0 {
 		os.Exit(1)

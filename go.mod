@@ -1,0 +1,3 @@
+module wfadvice
+
+go 1.24

@@ -16,6 +16,9 @@ func buildDAG(n, k int, pat fdet.Pattern, samples int) (*fdet.DAG, fdet.VectorOm
 }
 
 func TestAsimFairSimulationDecides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fair-simulation run; the E7 cells cover this in -short")
+	}
 	// Sanity: with all C-simulators running round-robin, the simulated
 	// algorithm decides — Asim faithfully reproduces fair runs of A.
 	for _, k := range []int{1, 2} {
@@ -54,6 +57,9 @@ func TestAsimFairSimulationDecides(t *testing.T) {
 }
 
 func TestExtractWitnessEmulatesAntiOmega(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long witness extraction; the E7 witness cells cover this in -short")
+	}
 	// Theorem 8's mechanism: the guided never-deciding (k+1)-concurrent run
 	// yields an output stream whose suffix excludes a correct S-process.
 	for _, k := range []int{1, 2} {

@@ -97,6 +97,9 @@ func TestSolverToleratesSCrashes(t *testing.T) {
 }
 
 func TestSolverWaitFreeUnderCPause(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long pause window; the E5 pause cell covers this in -short")
+	}
 	// Pause p1 for a long window: its code is driven by the others, so when
 	// it resumes it finds the decision; meanwhile the rest decide.
 	nc, k := 3, 2
@@ -134,6 +137,9 @@ func TestSolverWaitFreeUnderCPause(t *testing.T) {
 }
 
 func TestLanesTheorem14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long lanes sweep; the E4 cells cover this in -short")
+	}
 	// Figure 2 / Theorem 14: simulate K clock codes; with ℓ participating
 	// simulators, at most min(K, ℓ) codes take steps and at least one makes
 	// unbounded progress (the stabilized vector position's code).

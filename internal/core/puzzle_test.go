@@ -9,6 +9,9 @@ import (
 )
 
 func TestPuzzlePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Theorem 7 pipeline; the E8 cell covers this in -short")
+	}
 	for _, tc := range []struct{ n, k int }{{4, 1}, {5, 2}} {
 		rep, err := RunPuzzle(PuzzleConfig{N: tc.n, K: tc.k, Seed: int64(3 + tc.k)})
 		if err != nil {

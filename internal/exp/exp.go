@@ -1,7 +1,12 @@
-// Package exp is the experiment harness: one runner per experiment in
+// Package exp is the experiment harness: one Experiment per entry in
 // EXPERIMENTS.md (E1–E12), each regenerating the table that validates one of
-// the paper's propositions, theorems or algorithm figures. cmd/efd-bench
-// prints every table; the root bench_test.go benchmarks each runner.
+// the paper's propositions, theorems or algorithm figures.
+//
+// Each experiment is decomposed into independent trial cells (one per grid
+// point), executed by an Engine worker pool sized to GOMAXPROCS and merged
+// back into stable row order, so regeneration is parallel yet byte-for-byte
+// deterministic for a given root seed. cmd/efd-bench prints every table;
+// the root bench_test.go benchmarks each experiment.
 package exp
 
 import (
@@ -11,14 +16,14 @@ import (
 
 // Table is one regenerated result table.
 type Table struct {
-	ID     string
-	Title  string
-	Claim  string // the paper statement being validated
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim"` // the paper statement being validated
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 	// Failures counts rows that violated the claim (0 = reproduced).
-	Failures int
+	Failures int `json:"failures"`
 }
 
 // AddRow appends a row.
@@ -65,27 +70,26 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// Runner produces one experiment table.
+// Runner produces one experiment table. It is the sequential-era facade,
+// kept for callers that just want a table: each Run executes on a default
+// Engine (GOMAXPROCS workers, seed DefaultSeed, full grids).
 type Runner struct {
 	ID   string
 	Name string
 	Run  func() *Table
 }
 
+// DefaultSeed is the root seed used when no explicit seed is given; it is
+// the seed CI regenerates tables with.
+const DefaultSeed = 1
+
 // All returns every experiment runner in order.
 func All() []Runner {
-	return []Runner{
-		{ID: "E1", Name: "prop1-one-concurrent", Run: E1Prop1},
-		{ID: "E2", Name: "shelper-set-agreement", Run: E2SHelpers},
-		{ID: "E3", Name: "classical-vs-efd", Run: E3Separation},
-		{ID: "E4", Name: "fig2-kcodes", Run: E4KCodes},
-		{ID: "E5", Name: "solve-kset", Run: E5SolveKSet},
-		{ID: "E6", Name: "solve-renaming", Run: E6SolveRenaming},
-		{ID: "E7", Name: "extract-anti-omega", Run: E7Extraction},
-		{ID: "E8", Name: "puzzle", Run: E8Puzzle},
-		{ID: "E9", Name: "strong-renaming", Run: E9StrongRenaming},
-		{ID: "E10", Name: "renaming-diagonal", Run: E10RenamingSweep},
-		{ID: "E11", Name: "hierarchy", Run: E11Hierarchy},
-		{ID: "E12", Name: "bg-substrate", Run: E12BG},
+	eng := NewEngine(Options{Seed: DefaultSeed})
+	runners := make([]Runner, 0, 12)
+	for _, x := range Experiments() {
+		x := x
+		runners = append(runners, Runner{ID: x.ID, Name: x.Name, Run: func() *Table { return eng.Run(x) }})
 	}
+	return runners
 }

@@ -7,22 +7,40 @@ import (
 
 // TestAllExperimentsReproduce is the reproduction gate: every experiment
 // table regenerates with zero failures. It is the test-suite mirror of
-// `go run ./cmd/efd-bench`.
+// `go run ./cmd/efd-bench`. Under -short the engine runs the reduced grids
+// instead of skipping, so even the fast suite exercises every experiment.
 func TestAllExperimentsReproduce(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment sweep skipped in -short mode")
-	}
-	for _, r := range All() {
-		r := r
-		t.Run(r.ID+"_"+r.Name, func(t *testing.T) {
-			tbl := r.Run()
+	eng := NewEngine(Options{Seed: DefaultSeed, Short: testing.Short()})
+	for _, x := range Experiments() {
+		x := x
+		t.Run(x.ID+"_"+x.Name, func(t *testing.T) {
+			t.Parallel()
+			tbl := eng.Run(x)
 			if tbl.Failures > 0 {
-				t.Fatalf("%s: %d failures\n%s", r.ID, tbl.Failures, tbl.Render())
+				t.Fatalf("%s: %d failures\n%s", x.ID, tbl.Failures, tbl.Render())
 			}
 			if len(tbl.Rows) == 0 {
-				t.Fatalf("%s: empty table", r.ID)
+				t.Fatalf("%s: empty table", x.ID)
 			}
 		})
+	}
+}
+
+// TestRunnersFacade keeps the sequential-era Runner facade working: the
+// runners wrap the engine and produce non-empty tables.
+func TestRunnersFacade(t *testing.T) {
+	runners := All()
+	if len(runners) != 12 {
+		t.Fatalf("got %d runners, want 12", len(runners))
+	}
+	for i, x := range Experiments() {
+		if runners[i].ID != x.ID || runners[i].Name != x.Name {
+			t.Fatalf("runner %d is %s/%s, want %s/%s", i, runners[i].ID, runners[i].Name, x.ID, x.Name)
+		}
+	}
+	tbl := runners[0].Run() // E1 is fast
+	if tbl.ID != "E1" || len(tbl.Rows) == 0 {
+		t.Fatalf("E1 runner produced %q with %d rows", tbl.ID, len(tbl.Rows))
 	}
 }
 
@@ -44,5 +62,39 @@ func TestTableRender(t *testing.T) {
 	tbl.Failures = 2
 	if !strings.Contains(tbl.Render(), "2 FAILURES") {
 		t.Fatal("failure count not rendered")
+	}
+}
+
+// TestTableRenderAlignment pins the column-alignment contract: every column
+// is padded to the widest cell (header included), rows narrower or wider
+// than the header do not panic, and notes render after the rows.
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "alignment",
+		Claim:  "columns align",
+		Header: []string{"a", "column"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("22", "y")
+	tbl.AddRow("1")                 // narrower than the header
+	tbl.AddRow("3", "z", "overrun") // wider than the header
+	out := tbl.Render()
+	lines := strings.Split(out, "\n")
+	wants := []string{
+		"  a   column",
+		"  22  y",
+		"  1 ",
+		"  3   z       overrun",
+	}
+	for i, want := range wants {
+		got := strings.TrimRight(lines[2+i], " ")
+		want = strings.TrimRight(want, " ")
+		if got != want {
+			t.Fatalf("line %d = %q, want %q\nfull:\n%s", 2+i, got, want, out)
+		}
+	}
+	if !strings.Contains(out, "   note: a note") {
+		t.Fatalf("note missing:\n%s", out)
 	}
 }

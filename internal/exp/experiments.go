@@ -15,6 +15,15 @@ import (
 	"wfadvice/internal/wfree"
 )
 
+// Experiments returns every experiment (E1–E12) in canonical order, each
+// decomposed into independent trial cells for the Engine.
+func Experiments() []Experiment {
+	return []Experiment{
+		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
+		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
+	}
+}
+
 func intInputs(n, base int) vec.Vector {
 	v := vec.New(n)
 	for i := range v {
@@ -30,103 +39,127 @@ func ok(err error) string {
 	return "ok"
 }
 
-// E1Prop1 validates Proposition 1: every task is 1-concurrently solvable,
-// across the task zoo and system sizes.
-func E1Prop1() *Table {
-	t := &Table{
+// expE1 validates Proposition 1: every task is 1-concurrently solvable,
+// across the task zoo and system sizes. One cell per (task, n) pair.
+func expE1() Experiment {
+	zoo := []struct {
+		name string
+		mk   func(n int) task.Sequential
+	}{
+		{"consensus", func(n int) task.Sequential { return task.NewConsensus(n) }},
+		{"set-agreement", func(n int) task.Sequential { return task.NewSetAgreement(n, 2) }},
+		{"strong-renaming", func(n int) task.Sequential { return task.NewStrongRenaming(n+1, n) }},
+		{"wsb", func(n int) task.Sequential { return task.NewWSB(n) }},
+		{"identity", func(n int) task.Sequential { return task.NewIdentity(n) }},
+	}
+	return Experiment{
 		ID:     "E1",
+		Name:   "prop1-one-concurrent",
 		Title:  "every task is 1-concurrently solvable (Prop 1)",
 		Claim:  "the Prop 1 algorithm decides for all participants and satisfies ∆ in 1-concurrent runs",
 		Header: []string{"task", "n", "decided", "valid"},
-	}
-	for _, n := range []int{3, 5, 8} {
-		zoo := []task.Sequential{
-			task.NewConsensus(n),
-			task.NewSetAgreement(n, 2),
-			task.NewStrongRenaming(n+1, n),
-			task.NewWSB(n),
-			task.NewIdentity(n),
-		}
-		for _, tk := range zoo {
-			inputs := vec.New(tk.N())
-			autos := make([]auto.Automaton, tk.N())
-			for i := 0; i < n; i++ {
-				inputs[i] = i + 1
-				autos[i] = wfree.NewProp1(tk, i, inputs[i])
+		Cells: func(opt Options) []Cell {
+			sizes := []int{3, 5, 8}
+			if opt.Short {
+				sizes = []int{3, 5}
 			}
-			sys := auto.NewSystem(autos)
-			runErr := sys.RunKConcurrent(1, 100_000)
-			out := vec.New(tk.N())
-			decided := 0
-			for i := 0; i < n; i++ {
-				if d, okd := sys.Decided(i); okd {
-					out[i] = d
-					decided++
+			var cells []Cell
+			for _, n := range sizes {
+				for _, z := range zoo {
+					n, z := n, z
+					cells = append(cells, Cell{
+						Name: fmt.Sprintf("%s/n=%d", z.name, n),
+						Run: func(*Trial) Outcome {
+							tk := z.mk(n)
+							inputs := vec.New(tk.N())
+							autos := make([]auto.Automaton, tk.N())
+							for i := 0; i < n; i++ {
+								inputs[i] = i + 1
+								autos[i] = wfree.NewProp1(tk, i, inputs[i])
+							}
+							sys := auto.NewSystem(autos)
+							runErr := sys.RunKConcurrent(1, 100_000)
+							out := vec.New(tk.N())
+							decided := 0
+							for i := 0; i < n; i++ {
+								if d, okd := sys.Decided(i); okd {
+									out[i] = d
+									decided++
+								}
+							}
+							valErr := tk.Validate(inputs, out)
+							fail := runErr != nil || valErr != nil || decided != n
+							return Row(fail, tk.Name(), fmt.Sprint(n),
+								fmt.Sprintf("%d/%d", decided, n), ok(valErr))
+						},
+					})
 				}
 			}
-			valErr := tk.Validate(inputs, out)
-			if runErr != nil || valErr != nil || decided != n {
-				t.Failures++
-			}
-			t.AddRow(tk.Name(), fmt.Sprint(n), fmt.Sprintf("%d/%d", decided, n), ok(valErr))
-		}
+			return cells
+		},
 	}
-	return t
 }
 
-// E2SHelpers validates the Proposition 2 discussion: n S-processes solve
-// n-set agreement with the trivial detector in every environment.
-func E2SHelpers() *Table {
-	t := &Table{
+// expE2 validates the Proposition 2 discussion: n S-processes solve n-set
+// agreement with the trivial detector in every environment. One cell per
+// (nS, failure pattern) pair.
+func expE2() Experiment {
+	return Experiment{
 		ID:     "E2",
+		Name:   "shelper-set-agreement",
 		Title:  "n S-helpers give n-set agreement with a trivial detector (Prop 2)",
 		Claim:  "distinct decisions ≤ number of S-processes, under any crashes leaving one correct",
 		Header: []string{"nC", "nS", "crashes", "distinct", "valid"},
+		Cells: func(opt Options) []Cell {
+			sizes := []int{1, 2, 3, 4}
+			if opt.Short {
+				sizes = []int{1, 2, 3}
+			}
+			var cells []Cell
+			for _, ns := range sizes {
+				env := fdet.EnvT{T: ns - 1}
+				for pi, pat := range env.Sample(ns, 1000) {
+					ns, pat := ns, pat
+					cells = append(cells, Cell{
+						Name: fmt.Sprintf("nS=%d/pattern=%d", ns, pi),
+						Run: func(t *Trial) Outcome {
+							nc := 6
+							sh := core.SHelperConfig{NC: nc, NS: ns}
+							cfg := sim.Config{
+								NC: nc, NS: ns, Inputs: intInputs(nc, 0),
+								CBody:    sh.SHelperCBody,
+								SBody:    sh.SHelperSBody,
+								Pattern:  pat,
+								History:  fdet.Trivial{}.History(pat, 0, t.Seed),
+								MaxSteps: 200_000,
+							}
+							rt, err := sim.New(cfg)
+							if err != nil {
+								return Row(true, t.Name, "FAIL: "+err.Error())
+							}
+							res := rt.Run(&sim.StopWhenDecided{Inner: &sim.RoundRobin{}})
+							verr := sim.CheckTask(task.NewSetAgreement(nc, ns), res)
+							if derr := sim.DecidedAll(res); derr != nil && verr == nil {
+								verr = derr
+							}
+							return Row(verr != nil, fmt.Sprint(nc), fmt.Sprint(ns),
+								fmt.Sprint(len(pat.FaultySet())),
+								fmt.Sprint(res.Outputs.DistinctValues()), ok(verr))
+						},
+					})
+				}
+			}
+			return cells
+		},
 	}
-	for _, ns := range []int{1, 2, 3, 4} {
-		nc := 6
-		env := fdet.EnvT{T: ns - 1}
-		for _, pat := range env.Sample(ns, 1000) {
-			sh := core.SHelperConfig{NC: nc, NS: ns}
-			cfg := sim.Config{
-				NC: nc, NS: ns, Inputs: intInputs(nc, 0),
-				CBody:    sh.SHelperCBody,
-				SBody:    sh.SHelperSBody,
-				Pattern:  pat,
-				History:  fdet.Trivial{}.History(pat, 0, 1),
-				MaxSteps: 200_000,
-			}
-			rt, err := sim.New(cfg)
-			if err != nil {
-				t.Failures++
-				continue
-			}
-			res := rt.Run(&sim.StopWhenDecided{Inner: &sim.RoundRobin{}})
-			verr := sim.CheckTask(task.NewSetAgreement(nc, ns), res)
-			if derr := sim.DecidedAll(res); derr != nil && verr == nil {
-				verr = derr
-			}
-			if verr != nil {
-				t.Failures++
-			}
-			t.AddRow(fmt.Sprint(nc), fmt.Sprint(ns), fmt.Sprint(len(pat.FaultySet())),
-				fmt.Sprint(res.Outputs.DistinctValues()), ok(verr))
-		}
-	}
-	return t
 }
 
-// E3Separation validates the §2.3 separation: FirstAlive classically solves
-// 2-process consensus but does not EFD-solve it.
-func E3Separation() *Table {
-	t := &Table{
-		ID:     "E3",
-		Title:  "classical solvability without EFD solvability (§2.3)",
-		Claim:  "personified runs decide and agree; a fair run with p1 stopped starves p2",
-		Header: []string{"scenario", "p1", "p2", "outcome"},
-	}
-	consensus2 := task.NewSubsetAgreement(2, 1, []int{0, 1})
-	run := func(pat fdet.Pattern, sched sim.Scheduler) *sim.Result {
+// expE3 validates the §2.3 separation: FirstAlive classically solves
+// 2-process consensus but does not EFD-solve it. Three scenario cells in a
+// fixed order (the sequential harness iterated a map here, so the seed's
+// row order was nondeterministic).
+func expE3() Experiment {
+	runE3 := func(pat fdet.Pattern, sched sim.Scheduler) *sim.Result {
 		cfg := sim.Config{
 			NC: 2, NS: 2, Inputs: vec.Of("a", "b"),
 			CBody:    core.SeparationCBody,
@@ -147,321 +180,450 @@ func E3Separation() *Table {
 		}
 		return fmt.Sprint(v)
 	}
-	for name, pat := range map[string]fdet.Pattern{
-		"personified, q1 correct": fdet.FailureFree(2),
-		"personified, q1 crashes": fdet.NewPattern(2, map[int]int{0: 0}),
-	} {
-		res := run(pat, &sim.StopWhenDecided{Inner: &sim.Personified{Pattern: pat, Inner: &sim.RoundRobin{}}})
-		verr := sim.CheckTask(consensus2, res)
-		if verr != nil {
-			t.Failures++
+	personified := func(name string, pat fdet.Pattern) Cell {
+		return Cell{
+			Name: name,
+			Run: func(*Trial) Outcome {
+				consensus2 := task.NewSubsetAgreement(2, 1, []int{0, 1})
+				res := runE3(pat, &sim.StopWhenDecided{
+					Inner: &sim.Personified{Pattern: pat, Inner: &sim.RoundRobin{}}})
+				verr := sim.CheckTask(consensus2, res)
+				return Row(verr != nil, name, show(res.Outputs[0]), show(res.Outputs[1]), ok(verr))
+			},
 		}
-		t.AddRow(name, show(res.Outputs[0]), show(res.Outputs[1]), ok(verr))
 	}
-	pat := fdet.FailureFree(2)
-	res := run(pat, &sim.Exclude{Procs: []ids.Proc{ids.C(0)}, Inner: &sim.RoundRobin{}})
-	starved := res.Outputs[1] == nil
-	if !starved {
-		t.Failures++
+	return Experiment{
+		ID:     "E3",
+		Name:   "classical-vs-efd",
+		Title:  "classical solvability without EFD solvability (§2.3)",
+		Claim:  "personified runs decide and agree; a fair run with p1 stopped starves p2",
+		Header: []string{"scenario", "p1", "p2", "outcome"},
+		Cells: func(Options) []Cell {
+			return []Cell{
+				personified("personified, q1 correct", fdet.FailureFree(2)),
+				personified("personified, q1 crashes", fdet.NewPattern(2, map[int]int{0: 0})),
+				{
+					Name: "fair EFD run, p1 stopped",
+					Run: func(*Trial) Outcome {
+						pat := fdet.FailureFree(2)
+						res := runE3(pat, &sim.Exclude{Procs: []ids.Proc{ids.C(0)}, Inner: &sim.RoundRobin{}})
+						starved := res.Outputs[1] == nil
+						return Row(!starved, "fair EFD run, p1 stopped",
+							show(res.Outputs[0]), show(res.Outputs[1]),
+							map[bool]string{true: "p2 starves: EFD-unsolvable witness", false: "FAIL: p2 decided"}[starved])
+					},
+				},
+			}
+		},
 	}
-	t.AddRow("fair EFD run, p1 stopped", show(res.Outputs[0]), show(res.Outputs[1]),
-		map[bool]string{true: "p2 starves: EFD-unsolvable witness", false: "FAIL: p2 decided"}[starved])
-	return t
 }
 
-// E4KCodes validates Theorem 14 (Figure 2): at most min(k, ℓ) simulated
-// codes take steps, and at least one makes unbounded progress.
-func E4KCodes() *Table {
-	t := &Table{
+// expE4 validates Theorem 14 (Figure 2): at most min(k, ℓ) simulated codes
+// take steps, and at least one makes unbounded progress. One cell per
+// (n, k, ℓ) triple; the trial seed drives the pre-stabilization detector
+// noise.
+func expE4() Experiment {
+	return Experiment{
 		ID:     "E4",
+		Name:   "fig2-kcodes",
 		Title:  "simulating k codes with vector-Ωk (Fig 2 / Thm 14)",
 		Claim:  "codes beyond min(k,ℓ) take no steps; some code advances unboundedly",
 		Header: []string{"n", "k", "ℓ", "codes stepped", "best progress", "ok"},
-	}
-	for _, tc := range []struct{ n, k, ell int }{
-		{4, 1, 4}, {4, 2, 4}, {4, 2, 1}, {5, 3, 2}, {6, 3, 6},
-	} {
-		inputs := vec.New(tc.n)
-		for i := 0; i < tc.ell; i++ {
-			inputs[i] = 1
-		}
-		mc := core.MachineConfig{NC: tc.n, NS: tc.n, K: tc.k, Lanes: true,
-			Factory: func(i int, _ sim.Value) auto.Automaton { return auto.NewClock() }}
-		pat := fdet.FailureFree(tc.n)
-		cfg := sim.Config{
-			NC: tc.n, NS: tc.n, Inputs: inputs,
-			CBody:    mc.LanesCBody,
-			SBody:    mc.LanesSBody,
-			Pattern:  pat,
-			History:  fdet.VectorOmegaK{K: tc.k, GoodPos: 0}.History(pat, 200, 3),
-			MaxSteps: 300_000,
-		}
-		rt, err := sim.New(cfg)
-		if err != nil {
-			t.Failures++
-			continue
-		}
-		res := rt.Run(&sim.RoundRobin{})
-		tr := mc.Replay(res.FinalStore)
-		limit := tc.k
-		if tc.ell < limit {
-			limit = tc.ell
-		}
-		stepped, best, bad := 0, 0, false
-		for a, s := range tr.CellSteps {
-			if s > 0 {
-				stepped++
-				if a >= limit {
-					bad = true
-				}
+		Cells: func(opt Options) []Cell {
+			grid := []struct{ n, k, ell int }{
+				{4, 1, 4}, {4, 2, 4}, {4, 2, 1}, {5, 3, 2}, {6, 3, 6},
 			}
-			if s > best {
-				best = s
+			maxSteps := 300_000
+			if opt.Short {
+				grid = grid[:3]
+				maxSteps = 80_000
 			}
-		}
-		pass := !bad && best >= 50
-		if !pass {
-			t.Failures++
-		}
-		t.AddRow(fmt.Sprint(tc.n), fmt.Sprint(tc.k), fmt.Sprint(tc.ell),
-			fmt.Sprint(stepped), fmt.Sprint(best), map[bool]string{true: "ok", false: "FAIL"}[pass])
+			var cells []Cell
+			for _, tc := range grid {
+				tc := tc
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("n=%d/k=%d/ell=%d", tc.n, tc.k, tc.ell),
+					Run: func(t *Trial) Outcome {
+						inputs := vec.New(tc.n)
+						for i := 0; i < tc.ell; i++ {
+							inputs[i] = 1
+						}
+						mc := core.MachineConfig{NC: tc.n, NS: tc.n, K: tc.k, Lanes: true,
+							Factory: func(i int, _ sim.Value) auto.Automaton { return auto.NewClock() }}
+						pat := fdet.FailureFree(tc.n)
+						cfg := sim.Config{
+							NC: tc.n, NS: tc.n, Inputs: inputs,
+							CBody:    mc.LanesCBody,
+							SBody:    mc.LanesSBody,
+							Pattern:  pat,
+							History:  fdet.VectorOmegaK{K: tc.k, GoodPos: 0}.History(pat, 200, t.Seed),
+							MaxSteps: maxSteps,
+						}
+						rt, err := sim.New(cfg)
+						if err != nil {
+							return Row(true, t.Name, "FAIL: "+err.Error())
+						}
+						res := rt.Run(&sim.RoundRobin{})
+						tr := mc.Replay(res.FinalStore)
+						limit := tc.k
+						if tc.ell < limit {
+							limit = tc.ell
+						}
+						stepped, best, bad := 0, 0, false
+						for a, s := range tr.CellSteps {
+							if s > 0 {
+								stepped++
+								if a >= limit {
+									bad = true
+								}
+							}
+							if s > best {
+								best = s
+							}
+						}
+						pass := !bad && best >= 50
+						return Row(!pass, fmt.Sprint(tc.n), fmt.Sprint(tc.k), fmt.Sprint(tc.ell),
+							fmt.Sprint(stepped), fmt.Sprint(best),
+							map[bool]string{true: "ok", false: "FAIL"}[pass])
+					},
+				})
+			}
+			return cells
+		},
 	}
-	return t
 }
 
-// E5SolveKSet validates Theorem 9 on k-set agreement: the direct vector-Ωk
-// solver decides wait-free under S-crashes and C-pauses.
-func E5SolveKSet() *Table {
-	t := &Table{
+// expE5 validates Theorem 9 on k-set agreement: the direct vector-Ωk solver
+// decides wait-free under S-crashes, C-pauses and seeded-random schedules.
+// One cell per (n, k, crashes, adversary) configuration.
+func expE5() Experiment {
+	type e5case struct {
+		n, k, crash int
+		pause       bool
+		random      bool
+	}
+	return Experiment{
 		ID:     "E5",
+		Name:   "solve-kset",
 		Title:  "k-set agreement with vector-Ωk advice (Thm 9 / Prop 6)",
 		Claim:  "all C-processes decide; ≤ k distinct proposed values",
 		Header: []string{"n", "k", "crashes", "adversary", "steps", "valid"},
+		Cells: func(opt Options) []Cell {
+			grid := []e5case{
+				{n: 4, k: 1}, {n: 4, k: 1, crash: 3}, {n: 5, k: 2}, {n: 5, k: 2, crash: 2},
+				{n: 6, k: 3, crash: 3}, {n: 4, k: 1, pause: true}, {n: 5, k: 2, pause: true},
+				{n: 4, k: 1, random: true}, {n: 5, k: 2, crash: 2, random: true},
+			}
+			if opt.Short {
+				grid = []e5case{
+					{n: 4, k: 1}, {n: 4, k: 1, crash: 3}, {n: 5, k: 2},
+					{n: 4, k: 1, pause: true}, {n: 4, k: 1, random: true},
+				}
+			}
+			var cells []Cell
+			for _, tc := range grid {
+				tc := tc
+				adv := "rr"
+				if tc.pause {
+					adv = "pause"
+				} else if tc.random {
+					adv = "random"
+				}
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("n=%d/k=%d/crash=%d/%s", tc.n, tc.k, tc.crash, adv),
+					Run: func(t *Trial) Outcome {
+						crashAt := map[int]int{}
+						for c := 0; c < tc.crash; c++ {
+							crashAt[tc.n-1-c] = 50 * (c + 1)
+						}
+						pat := fdet.NewPattern(tc.n, crashAt)
+						dc := core.DirectConfig{NC: tc.n, NS: tc.n, K: tc.k, LeaderVec: core.VectorLeader}
+						cfg := sim.Config{
+							NC: tc.n, NS: tc.n, Inputs: intInputs(tc.n, 100),
+							CBody:    dc.DirectCBody,
+							SBody:    dc.DirectSBody,
+							Pattern:  pat,
+							History:  fdet.VectorOmegaK{K: tc.k, GoodPos: 0}.History(pat, 300, t.Seed),
+							MaxSteps: 2_000_000,
+						}
+						rt, err := sim.New(cfg)
+						if err != nil {
+							return Row(true, t.Name, "FAIL: "+err.Error())
+						}
+						var inner sim.Scheduler = &sim.RoundRobin{}
+						adversary := "round-robin"
+						switch {
+						case tc.pause:
+							inner = &sim.PauseWindow{Proc: ids.C(0), From: 10, To: 100_000, Inner: inner}
+							adversary = "p1 paused 100k steps"
+						case tc.random:
+							inner = sim.NewRandom(t.Rng.Int63())
+							adversary = "seeded random"
+						}
+						res := rt.Run(&sim.StopWhenDecided{Inner: inner})
+						verr := sim.CheckTask(task.NewSetAgreement(tc.n, tc.k), res)
+						if derr := sim.DecidedAll(res); derr != nil && verr == nil {
+							verr = derr
+						}
+						return Row(verr != nil, fmt.Sprint(tc.n), fmt.Sprint(tc.k),
+							fmt.Sprint(tc.crash), adversary, fmt.Sprint(res.Steps), ok(verr))
+					},
+				})
+			}
+			return cells
+		},
 	}
-	for _, tc := range []struct {
-		n, k, crash int
-		pause       bool
-	}{
-		{4, 1, 0, false}, {4, 1, 3, false}, {5, 2, 0, false}, {5, 2, 2, false},
-		{6, 3, 3, false}, {4, 1, 0, true}, {5, 2, 0, true},
-	} {
-		crashAt := map[int]int{}
-		for c := 0; c < tc.crash; c++ {
-			crashAt[tc.n-1-c] = 50 * (c + 1)
-		}
-		pat := fdet.NewPattern(tc.n, crashAt)
-		dc := core.DirectConfig{NC: tc.n, NS: tc.n, K: tc.k, LeaderVec: core.VectorLeader}
-		cfg := sim.Config{
-			NC: tc.n, NS: tc.n, Inputs: intInputs(tc.n, 100),
-			CBody:    dc.DirectCBody,
-			SBody:    dc.DirectSBody,
-			Pattern:  pat,
-			History:  fdet.VectorOmegaK{K: tc.k, GoodPos: 0}.History(pat, 300, 7),
-			MaxSteps: 2_000_000,
-		}
-		rt, err := sim.New(cfg)
-		if err != nil {
-			t.Failures++
-			continue
-		}
-		var inner sim.Scheduler = &sim.RoundRobin{}
-		adversary := "round-robin"
-		if tc.pause {
-			inner = &sim.PauseWindow{Proc: ids.C(0), From: 10, To: 100_000, Inner: inner}
-			adversary = "p1 paused 100k steps"
-		}
-		res := rt.Run(&sim.StopWhenDecided{Inner: inner})
-		verr := sim.CheckTask(task.NewSetAgreement(tc.n, tc.k), res)
-		if derr := sim.DecidedAll(res); derr != nil && verr == nil {
-			verr = derr
-		}
-		if verr != nil {
-			t.Failures++
-		}
-		t.AddRow(fmt.Sprint(tc.n), fmt.Sprint(tc.k), fmt.Sprint(tc.crash), adversary,
-			fmt.Sprint(res.Steps), ok(verr))
-	}
-	return t
 }
 
-// E6SolveRenaming validates Theorem 9 / Theorem 16 on a colored task: the
-// generic machine simulates the Figure 4 algorithm k-concurrently.
-func E6SolveRenaming() *Table {
-	t := &Table{
+// expE6 validates Theorem 9 / Theorem 16 on a colored task: the generic
+// machine simulates the Figure 4 algorithm k-concurrently. One cell per
+// (n, j, k) triple.
+func expE6() Experiment {
+	return Experiment{
 		ID:     "E6",
+		Name:   "solve-renaming",
 		Title:  "(j, j+k−1)-renaming with vector-Ωk via the generic solver (Thm 16)",
 		Claim:  "participants obtain distinct names in {1..j+k−1}; simulated run is k-concurrent",
 		Header: []string{"n", "j", "k", "max name", "sim conc ≤ k", "valid"},
-	}
-	for _, tc := range []struct{ n, j, k int }{
-		{4, 3, 1}, {4, 3, 2}, {5, 4, 2}, {6, 4, 3},
-	} {
-		inputs := vec.New(tc.n)
-		for i := 0; i < tc.j; i++ {
-			inputs[i] = i + 1
-		}
-		mc := core.MachineConfig{NC: tc.n, NS: tc.n, K: tc.k,
-			Factory: func(i int, _ sim.Value) auto.Automaton { return wfree.NewRenaming(i) }}
-		pat := fdet.FailureFree(tc.n)
-		cfg := sim.Config{
-			NC: tc.n, NS: tc.n, Inputs: inputs,
-			CBody:    mc.SolverCBody,
-			SBody:    mc.SolverSBody,
-			Pattern:  pat,
-			History:  fdet.VectorOmegaK{K: tc.k, GoodPos: 0}.History(pat, 300, 11),
-			MaxSteps: 6_000_000,
-		}
-		rt, err := sim.New(cfg)
-		if err != nil {
-			t.Failures++
-			continue
-		}
-		res := rt.Run(&sim.StopWhenDecided{Inner: &sim.RoundRobin{}})
-		verr := sim.CheckTask(task.NewRenaming(tc.n, tc.j, tc.j+tc.k-1), res)
-		if derr := sim.DecidedAll(res); derr != nil && verr == nil {
-			verr = derr
-		}
-		maxName := 0
-		for _, v := range res.Outputs {
-			if name, isInt := v.(int); isInt && name > maxName {
-				maxName = name
+		Cells: func(opt Options) []Cell {
+			grid := []struct{ n, j, k int }{
+				{4, 3, 1}, {4, 3, 2}, {5, 4, 2}, {6, 4, 3},
 			}
-		}
-		tr := mc.Replay(res.FinalStore)
-		concOK := tr.ConcurrencyBound() <= tc.k
-		if verr != nil || !concOK {
-			t.Failures++
-		}
-		t.AddRow(fmt.Sprint(tc.n), fmt.Sprint(tc.j), fmt.Sprint(tc.k), fmt.Sprint(maxName),
-			fmt.Sprint(concOK), ok(verr))
+			if opt.Short {
+				grid = grid[:2]
+			}
+			var cells []Cell
+			for _, tc := range grid {
+				tc := tc
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("n=%d/j=%d/k=%d", tc.n, tc.j, tc.k),
+					Run: func(t *Trial) Outcome {
+						inputs := vec.New(tc.n)
+						for i := 0; i < tc.j; i++ {
+							inputs[i] = i + 1
+						}
+						mc := core.MachineConfig{NC: tc.n, NS: tc.n, K: tc.k,
+							Factory: func(i int, _ sim.Value) auto.Automaton { return wfree.NewRenaming(i) }}
+						pat := fdet.FailureFree(tc.n)
+						cfg := sim.Config{
+							NC: tc.n, NS: tc.n, Inputs: inputs,
+							CBody:    mc.SolverCBody,
+							SBody:    mc.SolverSBody,
+							Pattern:  pat,
+							History:  fdet.VectorOmegaK{K: tc.k, GoodPos: 0}.History(pat, 300, t.Seed),
+							MaxSteps: 6_000_000,
+						}
+						rt, err := sim.New(cfg)
+						if err != nil {
+							return Row(true, t.Name, "FAIL: "+err.Error())
+						}
+						res := rt.Run(&sim.StopWhenDecided{Inner: &sim.RoundRobin{}})
+						verr := sim.CheckTask(task.NewRenaming(tc.n, tc.j, tc.j+tc.k-1), res)
+						if derr := sim.DecidedAll(res); derr != nil && verr == nil {
+							verr = derr
+						}
+						maxName := 0
+						for _, v := range res.Outputs {
+							if name, isInt := v.(int); isInt && name > maxName {
+								maxName = name
+							}
+						}
+						tr := mc.Replay(res.FinalStore)
+						concOK := tr.ConcurrencyBound() <= tc.k
+						return Row(verr != nil || !concOK,
+							fmt.Sprint(tc.n), fmt.Sprint(tc.j), fmt.Sprint(tc.k),
+							fmt.Sprint(maxName), fmt.Sprint(concOK), ok(verr))
+					},
+				})
+			}
+			return cells
+		},
 	}
-	return t
 }
 
-// E7Extraction validates Theorem 8 (Figure 1): the reduction's output
-// stream satisfies the ¬Ωk property on the never-deciding witness run, and
-// the bounded DFS preserves the structural invariants.
-func E7Extraction() *Table {
-	t := &Table{
+// expE7 validates Theorem 8 (Figure 1): the reduction's output stream
+// satisfies the ¬Ωk property on the never-deciding witness run, and the
+// bounded DFS preserves the structural invariants. One cell per (n, k)
+// pair, contributing the witness row and the DFS row.
+func expE7() Experiment {
+	return Experiment{
 		ID:     "E7",
+		Name:   "extract-anti-omega",
 		Title:  "extracting ¬Ωk from a detector solving k-set agreement (Fig 1 / Thm 8)",
 		Claim:  "witness stream suffix excludes a correct S-process; DFS runs stay (k+1)-concurrent",
 		Header: []string{"n", "k", "mode", "samples", "property"},
-	}
-	for _, tc := range []struct{ n, k int }{{3, 1}, {4, 1}, {4, 2}, {5, 2}} {
-		pat := fdet.FailureFree(tc.n)
-		det := fdet.VectorOmegaK{K: tc.k, GoodPos: 0, Pinned: true}
-		dag := fdet.BuildDAG(pat, det.History(pat, 0, 1), fdet.RoundRobinSchedule(tc.n, 60_000))
-		res, err := core.ExtractWitness(core.WitnessConfig{
-			Alg:     core.DirectSimAlg{NC: tc.n, K: tc.k},
-			K:       tc.k,
-			DAG:     dag,
-			Leaders: det.PinnedLeaders(pat)[:tc.k],
-			Inputs:  intInputs(tc.n, 10),
-		})
-		verr := err
-		if verr == nil {
-			verr = core.CheckAntiOmegaStream(res, pat, 0.5)
-		}
-		if verr != nil {
-			t.Failures++
-		}
-		samples := 0
-		if res != nil {
-			samples = len(res.Samples)
-		}
-		t.AddRow(fmt.Sprint(tc.n), fmt.Sprint(tc.k), "witness", fmt.Sprint(samples), ok(verr))
+		Cells: func(opt Options) []Cell {
+			grid := []struct{ n, k int }{{3, 1}, {4, 1}, {4, 2}, {5, 2}}
+			samples, budget := 60_000, 120_000
+			if opt.Short {
+				grid = grid[:2]
+				samples, budget = 20_000, 50_000
+			}
+			var cells []Cell
+			for _, tc := range grid {
+				tc := tc
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("n=%d/k=%d", tc.n, tc.k),
+					Run: func(t *Trial) Outcome {
+						var o Outcome
+						pat := fdet.FailureFree(tc.n)
+						det := fdet.VectorOmegaK{K: tc.k, GoodPos: 0, Pinned: true}
+						dag := fdet.BuildDAG(pat, det.History(pat, 0, t.Seed),
+							fdet.RoundRobinSchedule(tc.n, samples))
+						res, err := core.ExtractWitness(core.WitnessConfig{
+							Alg:     core.DirectSimAlg{NC: tc.n, K: tc.k},
+							K:       tc.k,
+							DAG:     dag,
+							Leaders: det.PinnedLeaders(pat)[:tc.k],
+							Inputs:  intInputs(tc.n, 10),
+						})
+						verr := err
+						if verr == nil {
+							verr = core.CheckAntiOmegaStream(res, pat, 0.5)
+						}
+						if verr != nil {
+							o.Failures++
+						}
+						samples := 0
+						if res != nil {
+							samples = len(res.Samples)
+						}
+						o.Rows = append(o.Rows, []string{
+							fmt.Sprint(tc.n), fmt.Sprint(tc.k), "witness", fmt.Sprint(samples), ok(verr)})
 
-		dres, maxConc, derr := core.ExploreCorridors(core.ExploreConfig{
-			Alg:        core.DirectSimAlg{NC: tc.n, K: tc.k},
-			K:          tc.k,
-			DAG:        dag,
-			Inputs:     []vec.Vector{intInputs(tc.n, 10)},
-			StepBudget: 120_000,
-		})
-		status := "ok"
-		if derr != nil || maxConc > tc.k+1 || len(dres.Samples) == 0 {
-			t.Failures++
-			status = fmt.Sprintf("FAIL (conc=%d err=%v)", maxConc, derr)
-		}
-		t.AddRow(fmt.Sprint(tc.n), fmt.Sprint(tc.k), "bounded DFS", fmt.Sprint(len(dres.Samples)), status)
+						dres, maxConc, derr := core.ExploreCorridors(core.ExploreConfig{
+							Alg:        core.DirectSimAlg{NC: tc.n, K: tc.k},
+							K:          tc.k,
+							DAG:        dag,
+							Inputs:     []vec.Vector{intInputs(tc.n, 10)},
+							StepBudget: budget,
+						})
+						status := "ok"
+						if derr != nil || maxConc > tc.k+1 || len(dres.Samples) == 0 {
+							o.Failures++
+							status = fmt.Sprintf("FAIL (conc=%d err=%v)", maxConc, derr)
+						}
+						o.Rows = append(o.Rows, []string{
+							fmt.Sprint(tc.n), fmt.Sprint(tc.k), "bounded DFS",
+							fmt.Sprint(len(dres.Samples)), status})
+						return o
+					},
+				})
+			}
+			return cells
+		},
 	}
-	return t
 }
 
-// E8Puzzle validates Theorem 7: a detector solving (U,k)-agreement on k+1
-// processes solves k-set agreement among all n.
-func E8Puzzle() *Table {
-	t := &Table{
+// expE8 validates Theorem 7: a detector solving (U,k)-agreement on k+1
+// processes solves k-set agreement among all n. One cell per (n, k) pair;
+// the trial seed drives the pipeline's schedules and histories.
+func expE8() Experiment {
+	return Experiment{
 		ID:     "E8",
+		Name:   "puzzle",
 		Title:  "the puzzle: subset k-set agreement amplifies to all n (Thm 7)",
 		Claim:  "subset solve + extraction + global solve all succeed",
 		Header: []string{"n", "k", "|U|", "subset", "extraction", "global"},
+		Cells: func(opt Options) []Cell {
+			grid := []struct{ n, k int }{{5, 1}, {6, 2}, {7, 3}}
+			if opt.Short {
+				grid = grid[:1]
+			}
+			var cells []Cell
+			for _, tc := range grid {
+				tc := tc
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("n=%d/k=%d", tc.n, tc.k),
+					Run: func(t *Trial) Outcome {
+						rep, err := core.RunPuzzle(core.PuzzleConfig{N: tc.n, K: tc.k, Seed: t.Seed})
+						if err != nil {
+							return Row(true, fmt.Sprint(tc.n), fmt.Sprint(tc.k),
+								fmt.Sprint(tc.k+1), "FAIL", err.Error(), "-")
+						}
+						gerr := sim.CheckTask(task.NewSetAgreement(tc.n, tc.k), rep.GlobalResult)
+						return Row(gerr != nil, fmt.Sprint(tc.n), fmt.Sprint(tc.k),
+							fmt.Sprint(tc.k+1), fmt.Sprint(rep.SubsetOK),
+							fmt.Sprint(rep.ExtractionOK), ok(gerr))
+					},
+				})
+			}
+			return cells
+		},
 	}
-	for _, tc := range []struct{ n, k int }{{5, 1}, {6, 2}, {7, 3}} {
-		rep, err := core.RunPuzzle(core.PuzzleConfig{N: tc.n, K: tc.k, Seed: int64(tc.n)})
-		if err != nil {
-			t.Failures++
-			t.AddRow(fmt.Sprint(tc.n), fmt.Sprint(tc.k), fmt.Sprint(tc.k+1), "FAIL", err.Error(), "-")
-			continue
-		}
-		gerr := sim.CheckTask(task.NewSetAgreement(tc.n, tc.k), rep.GlobalResult)
-		if gerr != nil {
-			t.Failures++
-		}
-		t.AddRow(fmt.Sprint(tc.n), fmt.Sprint(tc.k), fmt.Sprint(tc.k+1),
-			fmt.Sprint(rep.SubsetOK), fmt.Sprint(rep.ExtractionOK), ok(gerr))
-	}
-	return t
 }
 
-// E9StrongRenaming validates §5: the pigeonhole collision, the reduction's
-// safety, a concrete 2-concurrent violation, and Figure 3's structural
-// guarantee.
-func E9StrongRenaming() *Table {
-	t := &Table{
-		ID:     "E9",
-		Title:  "strong renaming is consensus-hard (Lemma 11 / Thm 12 / Cor 13)",
-		Claim:  "solo collisions exist; candidate algorithms violate strong renaming 2-concurrently",
-		Header: []string{"check", "j", "outcome"},
-	}
-	a, b, name, err := wfree.PigeonholePair(3, func(i int) auto.Automaton { return wfree.NewRenaming(i) }, 100)
-	if err != nil {
-		t.Failures++
-		t.AddRow("pigeonhole collision", "2", "FAIL: "+err.Error())
-	} else {
-		t.AddRow("pigeonhole collision", "2", fmt.Sprintf("p%d and p%d share solo name %d", a+1, b+1, name))
-	}
+// randomSchedules draws count random two-process schedules from rng for the
+// renaming-violation searches of E9 and E11.
+func randomSchedules(rng *rand.Rand, count int) [][]int {
 	var schedules [][]int
-	rng := rand.New(rand.NewSource(9))
-	for s := 0; s < 60; s++ {
+	for s := 0; s < count; s++ {
 		sched := make([]int, 200)
 		for i := range sched {
 			sched[i] = rng.Intn(2)
 		}
 		schedules = append(schedules, sched)
 	}
-	witness, verr := wfree.FindRenamingViolation(4, 2,
-		func(i int) auto.Automaton { return wfree.NewRenaming(i) }, schedules, 2)
-	if verr != nil {
-		t.Failures++
-		t.AddRow("2-concurrent violation", "2", "FAIL: "+verr.Error())
-	} else {
-		t.AddRow("2-concurrent violation", "2", witness)
-	}
-	for _, j := range []int{3, 4} {
-		kerr := fig3Check(j)
-		if kerr != nil {
-			t.Failures++
-		}
-		t.AddRow("Fig 3 wrapper: inner stays 2-concurrent, names ≤ j+1", fmt.Sprint(j), ok(kerr))
-	}
-	t.Notes = append(t.Notes,
-		"Lemma 11 + Thm 12 imply no candidate can survive: strong renaming needs Ω (Cor 13)")
-	return t
+	return schedules
 }
 
-func fig3Check(j int) error {
+// expE9 validates §5: the pigeonhole collision, the reduction's safety, a
+// concrete 2-concurrent violation, and Figure 3's structural guarantee.
+func expE9() Experiment {
+	return Experiment{
+		ID:     "E9",
+		Name:   "strong-renaming",
+		Title:  "strong renaming is consensus-hard (Lemma 11 / Thm 12 / Cor 13)",
+		Claim:  "solo collisions exist; candidate algorithms violate strong renaming 2-concurrently",
+		Header: []string{"check", "j", "outcome"},
+		Notes: []string{
+			"Lemma 11 + Thm 12 imply no candidate can survive: strong renaming needs Ω (Cor 13)",
+		},
+		Cells: func(opt Options) []Cell {
+			cells := []Cell{
+				{
+					Name: "pigeonhole",
+					Run: func(*Trial) Outcome {
+						a, b, name, err := wfree.PigeonholePair(3,
+							func(i int) auto.Automaton { return wfree.NewRenaming(i) }, 100)
+						if err != nil {
+							return Row(true, "pigeonhole collision", "2", "FAIL: "+err.Error())
+						}
+						return Row(false, "pigeonhole collision", "2",
+							fmt.Sprintf("p%d and p%d share solo name %d", a+1, b+1, name))
+					},
+				},
+				{
+					Name: "violation",
+					Run: func(t *Trial) Outcome {
+						schedules := randomSchedules(t.Rng, 60*t.Opt.mult())
+						witness, verr := wfree.FindRenamingViolation(4, 2,
+							func(i int) auto.Automaton { return wfree.NewRenaming(i) }, schedules, 2)
+						if verr != nil {
+							return Row(true, "2-concurrent violation", "2", "FAIL: "+verr.Error())
+						}
+						return Row(false, "2-concurrent violation", "2", witness)
+					},
+				},
+			}
+			for _, j := range []int{3, 4} {
+				j := j
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("fig3/j=%d", j),
+					Run: func(t *Trial) Outcome {
+						kerr := fig3Check(j, t.Rng)
+						return Row(kerr != nil,
+							"Fig 3 wrapper: inner stays 2-concurrent, names ≤ j+1",
+							fmt.Sprint(j), ok(kerr))
+					},
+				})
+			}
+			return cells
+		},
+	}
+}
+
+func fig3Check(j int, rng *rand.Rand) error {
 	n := j + 1
 	inputs := vec.New(n)
 	autos := make([]auto.Automaton, n)
@@ -472,7 +634,6 @@ func fig3Check(j int) error {
 		autos[i] = wrappers[i]
 	}
 	sys := auto.NewSystem(autos)
-	rng := rand.New(rand.NewSource(int64(j)))
 	for step := 0; step < 200_000 && !sys.AllDecided(); step++ {
 		sys.Step(rng.Intn(j))
 		active := 0
@@ -496,53 +657,67 @@ func fig3Check(j int) error {
 	return task.NewRenaming(n, j, j+1).Validate(inputs, out)
 }
 
-// E10RenamingSweep regenerates the paper's diagonal: the Figure 4 name
-// space grows as j+k−1 with the concurrency level k.
-func E10RenamingSweep() *Table {
-	t := &Table{
+// expE10 regenerates the paper's diagonal: the Figure 4 name space grows as
+// j+k−1 with the concurrency level k. One cell per (j, k) pair, each
+// aggregating a sweep of seeded k-concurrent runs.
+func expE10() Experiment {
+	return Experiment{
 		ID:     "E10",
+		Name:   "renaming-diagonal",
 		Title:  "Figure 4 name space vs concurrency (Thm 15): max name ≤ j+k−1",
 		Claim:  "across seeded k-concurrent runs the largest decided name stays ≤ j+k−1",
 		Header: []string{"j", "k", "bound j+k−1", "max observed", "runs", "ok"},
-	}
-	for _, j := range []int{2, 3, 4, 5, 6} {
-		for k := 1; k <= j; k++ {
-			maxObserved, runs, bad := 0, 0, false
-			for seed := int64(0); seed < 20; seed++ {
-				n := j + 1
-				inputs := vec.New(n)
-				autos := make([]auto.Automaton, n)
-				for i := 0; i < j; i++ {
-					inputs[i] = i + 1
-					autos[i] = wfree.NewRenaming(i)
-				}
-				sys := auto.NewSystem(autos)
-				if !runKConcurrentRandom(sys, j, k, seed, 300_000) {
-					bad = true
-					continue
-				}
-				runs++
-				for i := 0; i < j; i++ {
-					if d, okd := sys.Decided(i); okd {
-						if name, isInt := d.(int); isInt && name > maxObserved {
-							maxObserved = name
-						}
-					}
+		Cells: func(opt Options) []Cell {
+			js := []int{2, 3, 4, 5, 6}
+			sweeps := 20 * opt.mult()
+			if opt.Short {
+				js = []int{2, 3, 4}
+				sweeps = 5 * opt.mult()
+			}
+			var cells []Cell
+			for _, j := range js {
+				for k := 1; k <= j; k++ {
+					j, k := j, k
+					cells = append(cells, Cell{
+						Name: fmt.Sprintf("j=%d/k=%d", j, k),
+						Run: func(t *Trial) Outcome {
+							maxObserved, runs, bad := 0, 0, false
+							for s := 0; s < sweeps; s++ {
+								n := j + 1
+								inputs := vec.New(n)
+								autos := make([]auto.Automaton, n)
+								for i := 0; i < j; i++ {
+									inputs[i] = i + 1
+									autos[i] = wfree.NewRenaming(i)
+								}
+								sys := auto.NewSystem(autos)
+								if !runKConcurrentRandom(sys, j, k, rand.New(rand.NewSource(t.Rng.Int63())), 300_000) {
+									bad = true
+									continue
+								}
+								runs++
+								for i := 0; i < j; i++ {
+									if d, okd := sys.Decided(i); okd {
+										if name, isInt := d.(int); isInt && name > maxObserved {
+											maxObserved = name
+										}
+									}
+								}
+							}
+							pass := !bad && maxObserved <= j+k-1
+							return Row(!pass, fmt.Sprint(j), fmt.Sprint(k), fmt.Sprint(j+k-1),
+								fmt.Sprint(maxObserved), fmt.Sprint(runs),
+								map[bool]string{true: "ok", false: "FAIL"}[pass])
+						},
+					})
 				}
 			}
-			pass := !bad && maxObserved <= j+k-1
-			if !pass {
-				t.Failures++
-			}
-			t.AddRow(fmt.Sprint(j), fmt.Sprint(k), fmt.Sprint(j+k-1),
-				fmt.Sprint(maxObserved), fmt.Sprint(runs), map[bool]string{true: "ok", false: "FAIL"}[pass])
-		}
+			return cells
+		},
 	}
-	return t
 }
 
-func runKConcurrentRandom(sys *auto.System, n, k int, seed int64, budget int) bool {
-	rng := rand.New(rand.NewSource(seed))
+func runKConcurrentRandom(sys *auto.System, n, k int, rng *rand.Rand, budget int) bool {
 	var admitted []int
 	next := 0
 	for steps := 0; steps < budget; steps++ {
@@ -565,62 +740,77 @@ func runKConcurrentRandom(sys *auto.System, n, k int, seed int64, budget int) bo
 	return false
 }
 
-// E11Hierarchy regenerates the Theorem 10 classification table.
-func E11Hierarchy() *Table {
-	t := &Table{
+// expE11 regenerates the Theorem 10 classification table. One cell per
+// hierarchy level, plus the strong-renaming and identity rows.
+func expE11() Experiment {
+	const n = 5
+	return Experiment{
 		ID:     "E11",
+		Name:   "hierarchy",
 		Title:  "the task hierarchy (Thm 10): concurrency level ↦ weakest detector ¬Ωk",
 		Claim:  "solvability at level k and violation at level k+1, per task",
 		Header: []string{"task", "level k", "solvable @k", "violated @k+1", "weakest detector"},
-	}
-	n := 5
-	for k := 1; k <= n-1; k++ {
-		tk := task.NewSetAgreement(n, k)
-		solveErr := solveKConc(tk, k)
-		var vioMsg string
-		if k < n-1 {
-			w, err := wfree.KSetViolationAtKPlus1(n, k)
-			if err != nil {
-				vioMsg = "FAIL: " + err.Error()
-				t.Failures++
-			} else {
-				vioMsg = w
+		Cells: func(opt Options) []Cell {
+			var cells []Cell
+			for k := 1; k <= n-1; k++ {
+				k := k
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("kset/k=%d", k),
+					Run: func(*Trial) Outcome {
+						tk := task.NewSetAgreement(n, k)
+						solveErr := solveKConc(tk, k)
+						var o Outcome
+						var vioMsg string
+						if k < n-1 {
+							w, err := wfree.KSetViolationAtKPlus1(n, k)
+							if err != nil {
+								vioMsg = "FAIL: " + err.Error()
+								o.Failures++
+							} else {
+								vioMsg = w
+							}
+						} else {
+							vioMsg = "n-set agreement is wait-free solvable (top of hierarchy)"
+						}
+						if solveErr != nil {
+							o.Failures++
+						}
+						det := fmt.Sprintf("¬Ω%d", k)
+						if k == 1 {
+							det = "Ω (≡ ¬Ω1)"
+						}
+						o.Rows = [][]string{{tk.Name(), fmt.Sprint(k), ok(solveErr), vioMsg, det}}
+						return o
+					},
+				})
 			}
-		} else {
-			vioMsg = "n-set agreement is wait-free solvable (top of hierarchy)"
-		}
-		if solveErr != nil {
-			t.Failures++
-		}
-		det := fmt.Sprintf("¬Ω%d", k)
-		if k == 1 {
-			det = "Ω (≡ ¬Ω1)"
-		}
-		t.AddRow(tk.Name(), fmt.Sprint(k), ok(solveErr), vioMsg, det)
+			cells = append(cells,
+				Cell{
+					Name: "strong-renaming",
+					Run: func(t *Trial) Outcome {
+						// Strong renaming: level 1 (Thm 12), weakest detector Ω (Cor 13).
+						srErr := solveKConc(task.NewStrongRenaming(n+1, n), 1)
+						schedules := randomSchedules(t.Rng, 60*t.Opt.mult())
+						w, verr := wfree.FindRenamingViolation(4, 2,
+							func(i int) auto.Automaton { return wfree.NewRenaming(i) }, schedules, 2)
+						if verr != nil {
+							w = "FAIL: " + verr.Error()
+						}
+						return Row(srErr != nil || verr != nil, "strong-renaming", "1", ok(srErr), w, "Ω (Cor 13)")
+					},
+				},
+				Cell{
+					Name: "identity",
+					Run: func(*Trial) Outcome {
+						err := solveKConc(task.NewIdentity(n), n)
+						return Row(err != nil, "identity", fmt.Sprint(n), ok(err),
+							"none (wait-free solvable)", "trivial (Prop 2)")
+					},
+				},
+			)
+			return cells
+		},
 	}
-	// Strong renaming: level 1 (Thm 12), weakest detector Ω (Cor 13).
-	srErr := solveKConc(task.NewStrongRenaming(n+1, n), 1)
-	if srErr != nil {
-		t.Failures++
-	}
-	var schedules [][]int
-	rng := rand.New(rand.NewSource(4))
-	for s := 0; s < 60; s++ {
-		sched := make([]int, 200)
-		for i := range sched {
-			sched[i] = rng.Intn(2)
-		}
-		schedules = append(schedules, sched)
-	}
-	w, verr := wfree.FindRenamingViolation(4, 2, func(i int) auto.Automaton { return wfree.NewRenaming(i) }, schedules, 2)
-	if verr != nil {
-		t.Failures++
-		w = "FAIL: " + verr.Error()
-	}
-	t.AddRow("strong-renaming", "1", ok(srErr), w, "Ω (Cor 13)")
-	t.AddRow("identity", fmt.Sprint(n), ok(solveKConc(task.NewIdentity(n), n)),
-		"none (wait-free solvable)", "trivial (Prop 2)")
-	return t
 }
 
 // solveKConc checks the task's k-concurrent solvability with its canonical
@@ -666,52 +856,65 @@ func solveKConc(tk task.Sequential, k int) error {
 	return tk.Validate(inputs, out)
 }
 
-// E12BG validates the BG substrate: with k of k+1 simulators stalled
-// mid-agreement, at least n−k codes keep progressing.
-func E12BG() *Table {
-	t := &Table{
+// expE12 validates the BG substrate: with k of k+1 simulators stalled
+// mid-agreement, at least n−k codes keep progressing. One cell per (n, k)
+// pair.
+func expE12() Experiment {
+	return Experiment{
 		ID:     "E12",
+		Name:   "bg-substrate",
 		Title:  "BG-simulation blocking bound (substrate for Fig 1)",
 		Claim:  "k stalled simulators block at most k codes",
 		Header: []string{"codes n", "stalls k", "progressed", "≥ n−k", "ok"},
-	}
-	for _, tc := range []struct{ n, k int }{{4, 1}, {5, 1}, {6, 2}, {8, 3}} {
-		m := tc.k + 1
-		stats := bg.NewStats(tc.n)
-		sims := make([]*bg.Simulator, m)
-		autos := make([]auto.Automaton, m)
-		for i := 0; i < m; i++ {
-			sims[i] = bg.NewSimulator(i, m, tc.n, func(int) auto.Automaton { return auto.NewClock() }, stats)
-			autos[i] = sims[i]
-		}
-		sys := auto.NewSystem(autos)
-		stalled := true
-		for i := 0; i < tc.k && stalled; i++ {
-			stalled = false
-			for s := 0; s < 200; s++ {
-				sys.Step(i)
-				if sims[i].HoldsLevel1() {
-					sys.Step(i) // publish the level-1 entry
-					stalled = true
-					break
-				}
+		Cells: func(opt Options) []Cell {
+			grid := []struct{ n, k int }{{4, 1}, {5, 1}, {6, 2}, {8, 3}}
+			if opt.Short {
+				grid = grid[:3]
 			}
-		}
-		for s := 0; s < 30_000; s++ {
-			sys.Step(tc.k)
-		}
-		progressed := 0
-		for c := 0; c < tc.n; c++ {
-			if stats.StepsOf[c] >= 50 {
-				progressed++
+			var cells []Cell
+			for _, tc := range grid {
+				tc := tc
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("n=%d/k=%d", tc.n, tc.k),
+					Run: func(*Trial) Outcome {
+						m := tc.k + 1
+						stats := bg.NewStats(tc.n)
+						sims := make([]*bg.Simulator, m)
+						autos := make([]auto.Automaton, m)
+						for i := 0; i < m; i++ {
+							sims[i] = bg.NewSimulator(i, m, tc.n,
+								func(int) auto.Automaton { return auto.NewClock() }, stats)
+							autos[i] = sims[i]
+						}
+						sys := auto.NewSystem(autos)
+						stalled := true
+						for i := 0; i < tc.k && stalled; i++ {
+							stalled = false
+							for s := 0; s < 200; s++ {
+								sys.Step(i)
+								if sims[i].HoldsLevel1() {
+									sys.Step(i) // publish the level-1 entry
+									stalled = true
+									break
+								}
+							}
+						}
+						for s := 0; s < 30_000; s++ {
+							sys.Step(tc.k)
+						}
+						progressed := 0
+						for c := 0; c < tc.n; c++ {
+							if stats.StepsOf[c] >= 50 {
+								progressed++
+							}
+						}
+						pass := stalled && progressed >= tc.n-tc.k
+						return Row(!pass, fmt.Sprint(tc.n), fmt.Sprint(tc.k), fmt.Sprint(progressed),
+							fmt.Sprint(tc.n-tc.k), map[bool]string{true: "ok", false: "FAIL"}[pass])
+					},
+				})
 			}
-		}
-		pass := stalled && progressed >= tc.n-tc.k
-		if !pass {
-			t.Failures++
-		}
-		t.AddRow(fmt.Sprint(tc.n), fmt.Sprint(tc.k), fmt.Sprint(progressed),
-			fmt.Sprint(tc.n-tc.k), map[bool]string{true: "ok", false: "FAIL"}[pass])
+			return cells
+		},
 	}
-	return t
 }

@@ -216,7 +216,32 @@ type (
 	ExpTable = exp.Table
 	// ExpRunner produces one experiment table.
 	ExpRunner = exp.Runner
+	// ExpEngine executes experiment cells on a worker pool with
+	// deterministic per-trial seeding.
+	ExpEngine = exp.Engine
+	// ExpOptions configures an ExpEngine (parallelism, root seed, trial
+	// multiplier, per-trial timeout, reduced -short grids).
+	ExpOptions = exp.Options
+	// ExpExperiment is one experiment decomposed into trial cells.
+	ExpExperiment = exp.Experiment
+	// ExpCell is one independent trial job.
+	ExpCell = exp.Cell
+	// ExpTrial is the seeded context handed to a cell execution.
+	ExpTrial = exp.Trial
+	// ExpOutcome is the rows/failures contribution of one cell.
+	ExpOutcome = exp.Outcome
 )
 
-// AllExperiments returns the E1–E12 runners.
-var AllExperiments = exp.All
+// Experiment harness entry points.
+var (
+	// AllExperiments returns the E1–E12 runners (engine-backed facade).
+	AllExperiments = exp.All
+	// Experiments returns the E1–E12 experiments in cell-generator form.
+	Experiments = exp.Experiments
+	// NewExpEngine builds a parallel experiment engine.
+	NewExpEngine = exp.NewEngine
+	// ExperimentByID resolves one experiment id ("E5").
+	ExperimentByID = exp.ByID
+	// SelectExperiments resolves a comma-separated id list.
+	SelectExperiments = exp.Select
+)
