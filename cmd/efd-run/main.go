@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"wfadvice/internal/auto"
 	"wfadvice/internal/core"
@@ -24,6 +25,25 @@ import (
 	"wfadvice/internal/vec"
 	"wfadvice/internal/wfree"
 )
+
+// The valid values of the enumerating flags. An unknown value prints the
+// list and exits 2, mirroring efd-bench's unknown-experiment convention.
+var (
+	validTasks     = []string{"consensus", "kset", "renaming"}
+	validDetectors = []string{"omega", "vector", "trivial"}
+	validSolvers   = []string{"direct", "machine"}
+)
+
+// checkChoice validates an enumerating flag value.
+func checkChoice(name, got string, valid []string) {
+	for _, v := range valid {
+		if got == v {
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "efd-run: unknown -%s %q (valid: %s)\n", name, got, strings.Join(valid, " | "))
+	os.Exit(2)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,6 +61,9 @@ func main() {
 		maxSteps = flag.Int("max-steps", 3_000_000, "step budget")
 	)
 	flag.Parse()
+	checkChoice("task", *taskName, validTasks)
+	checkChoice("detector", *detector, validDetectors)
+	checkChoice("solver", *solver, validSolvers)
 
 	crashAt := map[int]int{}
 	for c := 0; c < *crash && c < *n-1; c++ {
@@ -61,7 +84,7 @@ func main() {
 	case "trivial":
 		hist = fdet.Trivial{}.History(pat, 0, *seed)
 	default:
-		log.Fatalf("unknown detector %q", *detector)
+		panic("unreachable: detector validated by checkChoice")
 	}
 
 	var tk task.Task
@@ -83,7 +106,7 @@ func main() {
 			inputs[i] = i + 1
 		}
 	default:
-		log.Fatalf("unknown task %q", *taskName)
+		panic("unreachable: task validated by checkChoice")
 	}
 
 	cfg := sim.Config{
@@ -102,7 +125,7 @@ func main() {
 		mc := core.MachineConfig{NC: *n, NS: *n, K: *k, Factory: factory}
 		cfg.CBody, cfg.SBody = mc.SolverCBody, mc.SolverSBody
 	default:
-		log.Fatalf("unknown solver %q", *solver)
+		panic("unreachable: solver validated by checkChoice")
 	}
 
 	rt, err := sim.New(cfg)

@@ -3,10 +3,12 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 
 	"wfadvice/internal/auto"
 	"wfadvice/internal/bg"
 	"wfadvice/internal/core"
+	"wfadvice/internal/explore"
 	"wfadvice/internal/fdet"
 	"wfadvice/internal/ids"
 	"wfadvice/internal/sim"
@@ -15,12 +17,13 @@ import (
 	"wfadvice/internal/wfree"
 )
 
-// Experiments returns every experiment (E1–E12) in canonical order, each
+// Experiments returns every experiment (E1–E14) in canonical order, each
 // decomposed into independent trial cells for the Engine.
 func Experiments() []Experiment {
 	return []Experiment{
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
+		expE13(), expE14(),
 	}
 }
 
@@ -553,20 +556,6 @@ func expE8() Experiment {
 	}
 }
 
-// randomSchedules draws count random two-process schedules from rng for the
-// renaming-violation searches of E9 and E11.
-func randomSchedules(rng *rand.Rand, count int) [][]int {
-	var schedules [][]int
-	for s := 0; s < count; s++ {
-		sched := make([]int, 200)
-		for i := range sched {
-			sched[i] = rng.Intn(2)
-		}
-		schedules = append(schedules, sched)
-	}
-	return schedules
-}
-
 // expE9 validates §5: the pigeonhole collision, the reduction's safety, a
 // concrete 2-concurrent violation, and Figure 3's structural guarantee.
 func expE9() Experiment {
@@ -595,10 +584,10 @@ func expE9() Experiment {
 				},
 				{
 					Name: "violation",
-					Run: func(t *Trial) Outcome {
-						schedules := randomSchedules(t.Rng, 60*t.Opt.mult())
-						witness, verr := wfree.FindRenamingViolation(4, 2,
-							func(i int) auto.Automaton { return wfree.NewRenaming(i) }, schedules, 2)
+					Run: func(*Trial) Outcome {
+						// Systematic search on the sim runtime (random search
+						// remains available as the explorer's fallback mode).
+						witness, _, verr := wfree.ExploreStrongRenamingViolation(2, 2, 12, 1)
 						if verr != nil {
 							return Row(true, "2-concurrent violation", "2", "FAIL: "+verr.Error())
 						}
@@ -787,12 +776,10 @@ func expE11() Experiment {
 			cells = append(cells,
 				Cell{
 					Name: "strong-renaming",
-					Run: func(t *Trial) Outcome {
+					Run: func(*Trial) Outcome {
 						// Strong renaming: level 1 (Thm 12), weakest detector Ω (Cor 13).
 						srErr := solveKConc(task.NewStrongRenaming(n+1, n), 1)
-						schedules := randomSchedules(t.Rng, 60*t.Opt.mult())
-						w, verr := wfree.FindRenamingViolation(4, 2,
-							func(i int) auto.Automaton { return wfree.NewRenaming(i) }, schedules, 2)
+						w, _, verr := wfree.ExploreStrongRenamingViolation(2, 2, 12, 1)
 						if verr != nil {
 							w = "FAIL: " + verr.Error()
 						}
@@ -854,6 +841,154 @@ func solveKConc(tk task.Sequential, k int) error {
 		}
 	}
 	return tk.Validate(inputs, out)
+}
+
+// expE13 validates Lemma 11 by exhaustive schedule exploration: bounded
+// sweeps of the Figure 4 algorithm's full schedule tree (systems of n ≤ 3
+// register slots, 2 participants, hence 2-concurrent by construction) all
+// expose the strong-renaming violation; the reports are worker-invariant;
+// random witnesses shrink to the minimal core and replay exactly.
+func expE13() Experiment {
+	exhaust := func(name string, slots, depth int, noPrune bool) Cell {
+		return Cell{
+			Name: name,
+			Run: func(*Trial) Outcome {
+				spec := wfree.StrongRenamingSpec(slots, 2, 0)
+				rep, err := explore.Explore(spec, explore.Options{
+					MaxDepth: depth, Workers: 1, NoPrune: noPrune})
+				if err != nil {
+					return Row(true, name, fmt.Sprint(slots), fmt.Sprint(depth), "FAIL: "+err.Error(), "-", "-")
+				}
+				var outcome string
+				fail := !rep.Exhausted || rep.Violations == 0
+				if fail {
+					outcome = fmt.Sprintf("FAIL (exhausted=%v violations=%d)", rep.Exhausted, rep.Violations)
+				} else {
+					outcome = rep.Witness[0].Err
+				}
+				return Row(fail, name, fmt.Sprint(slots), fmt.Sprint(depth),
+					fmt.Sprint(rep.Runs), fmt.Sprint(rep.Violations), outcome)
+			},
+		}
+	}
+	return Experiment{
+		ID:     "E13",
+		Name:   "explore-strong-renaming",
+		Title:  "exhaustive 2-concurrent strong-renaming violation (Lemma 11 via internal/explore)",
+		Claim:  "every bounded sweep finds the violation; reports are worker-invariant; witnesses shrink ≥4x and replay",
+		Header: []string{"cell", "n", "depth", "runs", "violations", "outcome"},
+		Notes: []string{
+			"sweeps are exhaustive at their depth: sleep sets and state hashing prune only redundant interleavings",
+		},
+		Cells: func(opt Options) []Cell {
+			cells := []Cell{
+				exhaust("exhaust/n=2", 2, 12, false),
+				exhaust("raw-enum/n=2", 2, 12, true),
+				exhaust("exhaust/n=3", 3, 15, false),
+				{
+					Name: "worker-invariance",
+					Run: func(*Trial) Outcome {
+						spec := wfree.StrongRenamingSpec(2, 2, 0)
+						r1, err1 := explore.Explore(spec, explore.Options{MaxDepth: 12, Workers: 1})
+						r8, err8 := explore.Explore(spec, explore.Options{MaxDepth: 12, Workers: 8})
+						if err1 != nil || err8 != nil {
+							return Row(true, "worker-invariance", "2", "12", "-", "-", fmt.Sprintf("FAIL: %v %v", err1, err8))
+						}
+						same := r1.Render() == r8.Render() && reflect.DeepEqual(r1, r8)
+						return Row(!same, "worker-invariance", "2", "12", fmt.Sprint(r1.Runs), fmt.Sprint(r1.Violations),
+							map[bool]string{true: "reports byte-identical for workers 1 and 8", false: "FAIL: reports differ"}[same])
+					},
+				},
+				{
+					Name: "shrink",
+					Run: func(t *Trial) Outcome {
+						spec := wfree.StrongRenamingSpec(2, 2, 2) // two idle S-processes pad random runs
+						ro, err := explore.RandomSearch(spec, 120, 64, t.Seed)
+						if err != nil || ro.Hits == 0 {
+							return Row(true, "shrink", "2", "-", "-", "-", fmt.Sprintf("FAIL: no random witness (err=%v)", err))
+						}
+						sr, err := explore.Shrink(spec, ro.Schedule)
+						if err != nil {
+							return Row(true, "shrink", "2", "-", "-", "-", "FAIL: "+err.Error())
+						}
+						fail := sr.Ratio() > 0.25
+						return Row(fail, "shrink", "2", "-", fmt.Sprint(sr.Runs), "1",
+							fmt.Sprintf("%d steps -> %d (ratio %.2f ≤ 0.25)", sr.OriginalSteps, sr.ShrunkSteps, sr.Ratio()))
+					},
+				},
+				{
+					Name: "record-replay",
+					Run: func(*Trial) Outcome {
+						spec := wfree.StrongRenamingSpec(2, 2, 0)
+						rep, err := explore.Explore(spec, explore.Options{MaxDepth: 12, Workers: 1, Mode: explore.ModeFirst})
+						if err != nil || len(rep.Witness) == 0 {
+							return Row(true, "record-replay", "2", "12", "-", "-", fmt.Sprintf("FAIL: no witness (err=%v)", err))
+						}
+						w := rep.Witness[0]
+						tr := &explore.Trace{Spec: spec.Name, Meta: spec.Meta, Verdict: w.Err, Steps: w.Steps}
+						back, err := explore.ParseTrace(tr.Format())
+						if err != nil {
+							return Row(true, "record-replay", "2", "12", "-", "-", "FAIL: parse: "+err.Error())
+						}
+						out, err := explore.ReplayTrace(spec, back)
+						if err != nil || !out.Match {
+							return Row(true, "record-replay", "2", "12", "-", "-",
+								fmt.Sprintf("FAIL: replay (err=%v divergence=%s)", err, out.Divergence))
+						}
+						return Row(false, "record-replay", "2", "12", "1", "1",
+							fmt.Sprintf("witness serialized, parsed and replayed to identical verdict (%d steps)", out.Steps))
+					},
+				},
+			}
+			return cells
+		},
+	}
+}
+
+// expE14 measures what the systematic explorer buys over the seeded random
+// adversary on the k-set violation at level k+1 (Theorem 10's negative
+// side): the exhaustive sweep certifies every bounded-depth violation while
+// an equal budget of random runs only samples them.
+func expE14() Experiment {
+	return Experiment{
+		ID:     "E14",
+		Name:   "explore-kset-coverage",
+		Title:  "k-set violation coverage at level k+1: exhaustive sweep vs random baseline",
+		Claim:  "each sweep is exhausted and finds violations; the random baseline's hit rate is reported for the same run budget",
+		Header: []string{"n", "k", "depth", "sweep runs", "violations", "random baseline", "ok"},
+		Cells: func(opt Options) []Cell {
+			grid := []struct{ slots, k, depth int }{
+				{2, 1, 14}, {3, 1, 18},
+			}
+			if opt.Short {
+				grid = grid[:1]
+			}
+			var cells []Cell
+			for _, tc := range grid {
+				tc := tc
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("n=%d/k=%d", tc.slots, tc.k),
+					Run: func(t *Trial) Outcome {
+						spec := wfree.KSetSpec(tc.slots, tc.k+1, tc.k, 0)
+						rep, err := explore.Explore(spec, explore.Options{MaxDepth: tc.depth, Workers: 1})
+						if err != nil {
+							return Row(true, fmt.Sprint(tc.slots), fmt.Sprint(tc.k), fmt.Sprint(tc.depth), "-", "-", "-", "FAIL: "+err.Error())
+						}
+						ro, err := explore.RandomSearch(spec, tc.depth, rep.Runs, t.Seed)
+						if err != nil {
+							return Row(true, fmt.Sprint(tc.slots), fmt.Sprint(tc.k), fmt.Sprint(tc.depth), "-", "-", "-", "FAIL: "+err.Error())
+						}
+						fail := !rep.Exhausted || rep.Violations == 0
+						baseline := fmt.Sprintf("%d/%d hits (%.1f%%)", ro.Hits, ro.Tried, 100*float64(ro.Hits)/float64(ro.Tried))
+						return Row(fail, fmt.Sprint(tc.slots), fmt.Sprint(tc.k), fmt.Sprint(tc.depth),
+							fmt.Sprint(rep.Runs), fmt.Sprint(rep.Violations), baseline,
+							map[bool]string{true: "FAIL", false: "ok"}[fail])
+					},
+				})
+			}
+			return cells
+		},
+	}
 }
 
 // expE12 validates the BG substrate: with k of k+1 simulators stalled

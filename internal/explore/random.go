@@ -1,0 +1,56 @@
+package explore
+
+import (
+	"wfadvice/internal/ids"
+	"wfadvice/internal/sim"
+)
+
+// RandomOutcome reports a seeded random violation search — the fallback
+// mode when a system is too deep for systematic exploration.
+type RandomOutcome struct {
+	// Tried is the number of seeded runs executed.
+	Tried int `json:"tried"`
+	// Hits counts the runs on which the predicate fired.
+	Hits int `json:"hits"`
+	// Seed is the seed of the first violating run (meaningful when Hits>0).
+	Seed int64 `json:"seed"`
+	// Err is the first violation's description.
+	Err string `json:"err,omitempty"`
+	// Schedule and Steps describe the first violating run.
+	Schedule []ids.Proc `json:"-"`
+	Steps    int        `json:"steps"`
+	// Trace is the first violating run's recording.
+	Trace *Trace `json:"-"`
+}
+
+// RandomSearch runs the system under seeded random schedulers with seeds
+// seed0, seed0+1, ... and judges every completed run. All attempts execute
+// even after a hit (the hit rate is the random baseline the systematic
+// search is compared against); the first violating run is recorded.
+func RandomSearch(spec Spec, maxSteps, attempts int, seed0 int64) (*RandomOutcome, error) {
+	out := &RandomOutcome{}
+	for i := 0; i < attempts; i++ {
+		seed := seed0 + int64(i)
+		rt, err := spec.New(maxSteps)
+		if err != nil {
+			return nil, err
+		}
+		res := rt.Run(sim.NewRandom(seed))
+		out.Tried++
+		verr := spec.Check(res)
+		if verr == nil {
+			continue
+		}
+		out.Hits++
+		if out.Trace == nil {
+			out.Seed = seed
+			out.Err = verr.Error()
+			out.Steps = res.Steps
+			for _, e := range res.Trace {
+				out.Schedule = append(out.Schedule, e.Proc)
+			}
+			out.Trace = RecordTrace(spec, res)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package explore
+
+import (
+	"fmt"
+
+	"wfadvice/internal/ids"
+	"wfadvice/internal/sim"
+)
+
+// This file implements the counterexample shrinker: given any violating
+// schedule (typically a long one found by random search), ddmin-style delta
+// debugging reduces it to a locally minimal violating schedule — one from
+// which no single entry can be removed without losing the violation.
+// Candidate schedules run through sim.Scripted, which skips entries whose
+// process is not ready, so removing entries is always well-formed; the
+// violation predicate re-judges every candidate run from scratch.
+
+// ShrinkResult reports a completed shrink.
+type ShrinkResult struct {
+	// Original and Shrunk are the schedules before and after.
+	Original, Shrunk []ids.Proc
+	// OriginalSteps and ShrunkSteps are the executed step counts of the
+	// corresponding runs (schedule entries that were skipped as not ready do
+	// not execute).
+	OriginalSteps, ShrunkSteps int
+	// Runs is the number of candidate runs evaluated.
+	Runs int
+	// Trace is the shrunk violating run.
+	Trace *Trace
+}
+
+// Ratio is ShrunkSteps / OriginalSteps.
+func (r *ShrinkResult) Ratio() float64 {
+	if r.OriginalSteps == 0 {
+		return 1
+	}
+	return float64(r.ShrunkSteps) / float64(r.OriginalSteps)
+}
+
+// shrinkMaxRuns bounds the candidate evaluations of one Shrink call; ddmin
+// is quadratic in the worst case, so this only guards pathological inputs.
+const shrinkMaxRuns = 50_000
+
+// Shrink minimizes a violating schedule with ddmin: repeatedly remove
+// chunks (halving granularity down to single entries) while the violation
+// persists. The result is 1-minimal: removing any single remaining entry
+// loses the violation.
+func Shrink(spec Spec, schedule []ids.Proc) (*ShrinkResult, error) {
+	out := &ShrinkResult{Original: cloneProcs(schedule)}
+	res, bad := shrinkRun(spec, schedule, out)
+	if !bad {
+		return nil, fmt.Errorf("explore: schedule does not violate the predicate; nothing to shrink")
+	}
+	out.OriginalSteps = res.Steps
+	cur := cloneProcs(schedule)
+	n := 2
+	for len(cur) >= 2 && n <= len(cur) {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for at := 0; at < len(cur); at += chunk {
+			end := at + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := append(cloneProcs(cur[:at]), cur[end:]...)
+			if out.Runs >= shrinkMaxRuns {
+				return nil, fmt.Errorf("explore: shrink exceeded %d candidate runs", shrinkMaxRuns)
+			}
+			if _, stillBad := shrinkRun(spec, cand, out); stillBad {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if chunk <= 1 {
+				break // 1-minimal
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	final, _ := shrinkRun(spec, cur, out)
+	out.Shrunk = cur
+	out.ShrunkSteps = final.Steps
+	out.Trace = RecordTrace(spec, final)
+	return out, nil
+}
+
+// shrinkRun executes one candidate schedule tolerantly (entries whose
+// process is not ready are skipped) and judges it.
+func shrinkRun(spec Spec, schedule []ids.Proc, out *ShrinkResult) (*sim.Result, bool) {
+	out.Runs++
+	rt, err := spec.New(len(schedule) + 2)
+	if err != nil {
+		return &sim.Result{}, false
+	}
+	res := rt.Run(&sim.Scripted{Seq: schedule})
+	return res, spec.Check(res) != nil
+}

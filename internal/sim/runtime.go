@@ -63,6 +63,14 @@ type Event struct {
 	Val  Value // value written, read, returned by the detector, or decided
 }
 
+// PendingOp describes the operation a parked process will perform when the
+// scheduler next grants it a step. Schedule explorers use it to decide which
+// pending operations commute.
+type PendingOp struct {
+	Kind OpKind
+	Key  string // register key; empty for queryFD and decide
+}
+
 // Body is a process program. It runs in its own goroutine; every call to an
 // Env operation consumes one scheduled step.
 type Body func(e *Env)
@@ -150,6 +158,11 @@ type proc struct {
 	grant chan struct{}
 	state procState // owned by the runtime loop
 	steps int
+	// pending is the operation this process is parked at. It is written by
+	// the process goroutine immediately before it parks on reqCh and read by
+	// the runtime loop after the channel receive, so the channel provides the
+	// necessary ordering.
+	pending PendingOp
 	// decided is set for C-processes once they call Decide.
 	decided  bool
 	decision Value
@@ -322,6 +335,7 @@ func (r *Runtime) view() *View {
 		NS:        r.cfg.NS,
 		Started:   make(map[ids.Proc]bool, len(r.procs)),
 		DecidedC:  make(map[int]bool, r.cfg.NC),
+		Pending:   make(map[ids.Proc]PendingOp, len(r.procs)),
 		stepsOf:   make(map[ids.Proc]int, len(r.procs)),
 		decisions: make(map[int]Value, r.cfg.NC),
 	}
@@ -339,6 +353,7 @@ func (r *Runtime) view() *View {
 		if p.state != statePending {
 			continue
 		}
+		v.Pending[p.id] = p.pending
 		if p.id.IsS() && r.cfg.Pattern.Crashed(p.id.Index, r.step) {
 			continue // crashed S-processes take no further steps
 		}
@@ -402,8 +417,10 @@ type Env struct {
 	p *proc
 }
 
-// await parks the process until the scheduler grants it a step.
-func (e *Env) await() {
+// await parks the process until the scheduler grants it a step, announcing
+// the operation it is about to perform.
+func (e *Env) await(kind OpKind, key string) {
+	e.p.pending = PendingOp{Kind: kind, Key: key}
 	select {
 	case e.r.reqCh <- e.p:
 	case <-e.r.stopCh:
@@ -436,7 +453,7 @@ func (e *Env) HasDecided() bool { return e.p.decided }
 
 // Read performs one atomic register read.
 func (e *Env) Read(key string) Value {
-	e.await()
+	e.await(OpRead, key)
 	v := e.r.store[key]
 	e.r.record(e.p, OpRead, key, v)
 	return v
@@ -444,7 +461,7 @@ func (e *Env) Read(key string) Value {
 
 // Write performs one atomic register write.
 func (e *Env) Write(key string, v Value) {
-	e.await()
+	e.await(OpWrite, key)
 	e.r.store[key] = v
 	e.r.record(e.p, OpWrite, key, v)
 }
@@ -455,7 +472,7 @@ func (e *Env) QueryFD() Value {
 	if !e.p.id.IsS() {
 		panic(fmt.Sprintf("sim: C-process %v queried the failure detector", e.p.id))
 	}
-	e.await()
+	e.await(OpQueryFD, "")
 	var v Value
 	if e.r.cfg.History != nil {
 		v = e.r.cfg.History.Query(e.p.id.Index, e.r.step)
@@ -474,7 +491,7 @@ func (e *Env) Decide(v Value) {
 	if e.p.decided {
 		panic(fmt.Sprintf("sim: %v decided twice", e.p.id))
 	}
-	e.await()
+	e.await(OpDecide, "")
 	e.p.decided = true
 	e.p.decision = v
 	e.r.record(e.p, OpDecide, "", v)

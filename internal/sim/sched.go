@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -23,6 +24,10 @@ type View struct {
 	// UndecidedParticipating lists C-process indices that participate but
 	// have not decided — the quantity bounded by k-concurrency.
 	UndecidedParticipating []int
+	// Pending maps every parked process (ready or crashed) to the operation
+	// it will perform on its next granted step. Schedule explorers consult it
+	// to decide which pending operations commute.
+	Pending map[ids.Proc]PendingOp
 
 	stepsOf    map[ids.Proc]int
 	decisions  map[int]Value
@@ -292,7 +297,51 @@ func (s *StopWhenDecided) Next(v *View) (ids.Proc, bool) {
 	return s.Inner.Next(v)
 }
 
+// Replay follows a recorded schedule exactly, one process per step. Unlike
+// Scripted it never skips an entry: if the expected process is not ready the
+// run has diverged from the recording, Divergence is set, and the run stops.
+// It is the scheduler behind trace replay — a recorded violating run must
+// reproduce step for step or fail loudly.
+type Replay struct {
+	Seq []ids.Proc
+	pos int
+	// Divergence records the first point where the recorded schedule could
+	// not be followed (nil after a faithful replay).
+	Divergence error
+}
+
+var _ Scheduler = (*Replay)(nil)
+
+// Next implements Scheduler.
+func (s *Replay) Next(v *View) (ids.Proc, bool) {
+	if s.pos >= len(s.Seq) {
+		return ids.Proc{}, false
+	}
+	p := s.Seq[s.pos]
+	if !v.IsReady(p) {
+		s.Divergence = fmt.Errorf("sim: replay diverged at step %d: %v not ready", s.pos, p)
+		return ids.Proc{}, false
+	}
+	s.pos++
+	return p, true
+}
+
+// Replayed reports how many schedule entries were granted.
+func (s *Replay) Replayed() int { return s.pos }
+
 // SortProcs sorts a process slice in the stable id order.
 func SortProcs(ps []ids.Proc) {
 	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+// SortedStoreKeys returns the keys of a shared-memory snapshot in sorted
+// order. Anything that hashes or renders a store (exploration state hashing,
+// trace dumps) must iterate in this order, never raw map order.
+func SortedStoreKeys(store map[string]Value) []string {
+	keys := make([]string, 0, len(store))
+	for k := range store {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

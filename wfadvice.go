@@ -16,7 +16,9 @@
 //   - the solvers and reductions: the direct vector-Ωk agreement solver,
 //     the generic Theorem 9 machine, the Figure 1 ¬Ωk extraction, and the
 //     Theorem 7 puzzle pipeline
-//   - the experiment harness regenerating EXPERIMENTS.md (E1–E12).
+//   - the systematic schedule explorer (bounded model checking over the
+//     runtime) with trace record/replay and counterexample shrinking
+//   - the experiment harness regenerating EXPERIMENTS.md (E1–E14).
 //
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package wfadvice
@@ -26,6 +28,7 @@ import (
 	"wfadvice/internal/bg"
 	"wfadvice/internal/core"
 	"wfadvice/internal/exp"
+	"wfadvice/internal/explore"
 	"wfadvice/internal/fdet"
 	"wfadvice/internal/ids"
 	"wfadvice/internal/sim"
@@ -136,6 +139,15 @@ type (
 	Exclude = sim.Exclude
 	// Personified couples C-scheduling to S-liveness (§2.3).
 	Personified = sim.Personified
+	// Scripted follows an explicit schedule, skipping unready entries.
+	Scripted = sim.Scripted
+	// Priority always prefers the listed processes (starvation adversaries).
+	Priority = sim.Priority
+	// ReplaySched follows a recorded schedule exactly, failing loudly on
+	// divergence — the trace-replay scheduler.
+	ReplaySched = sim.Replay
+	// PendingOp is the operation a parked process will perform next.
+	PendingOp = sim.PendingOp
 	// StopWhenDecided ends a run once every C-process decided.
 	StopWhenDecided = sim.StopWhenDecided
 )
@@ -210,6 +222,44 @@ var (
 	InKey                = core.InKey
 )
 
+// Systematic schedule exploration (bounded model checking over the runtime).
+type (
+	// ExploreSpec describes a system under exploration (builder, violation
+	// predicate, trace metadata).
+	ExploreSpec = explore.Spec
+	// ExploreOptions configures a search (depth, workers, mode, pruning).
+	ExploreOptions = explore.Options
+	// ExploreReport is the deterministic search outcome.
+	ExploreReport = explore.Report
+	// ExploreViolation is one recorded violating run.
+	ExploreViolation = explore.Violation
+	// Trace is a recorded run in the canonical replayable format.
+	Trace = explore.Trace
+	// ShrinkResult reports a ddmin counterexample minimization.
+	ShrinkResult = explore.ShrinkResult
+)
+
+// Exploration entry points.
+var (
+	// ExploreSchedules runs the bounded model checker.
+	ExploreSchedules = explore.Explore
+	// RandomViolationSearch is the seeded random fallback mode.
+	RandomViolationSearch = explore.RandomSearch
+	// ShrinkSchedule ddmin-minimizes a violating schedule.
+	ShrinkSchedule = explore.Shrink
+	// RecordTrace, ParseTrace and ReplayTrace round-trip the trace format.
+	RecordTrace = explore.RecordTrace
+	ParseTrace  = explore.ParseTrace
+	ReplayTrace = explore.ReplayTrace
+	// StrongRenamingSpec and KSetSpec are the violation specs of §5 and §4.
+	StrongRenamingSpec = wfree.StrongRenamingSpec
+	KSetSpec           = wfree.KSetSpec
+	// ExploreStrongRenamingViolation and ExploreKSetViolation are the
+	// explorer-backed violation finders (random search as fallback).
+	ExploreStrongRenamingViolation = wfree.ExploreStrongRenamingViolation
+	ExploreKSetViolation           = wfree.ExploreKSetViolation
+)
+
 // Experiments.
 type (
 	// ExpTable is one regenerated experiment table.
@@ -234,9 +284,9 @@ type (
 
 // Experiment harness entry points.
 var (
-	// AllExperiments returns the E1–E12 runners (engine-backed facade).
+	// AllExperiments returns the E1–E14 runners (engine-backed facade).
 	AllExperiments = exp.All
-	// Experiments returns the E1–E12 experiments in cell-generator form.
+	// Experiments returns the E1–E14 experiments in cell-generator form.
 	Experiments = exp.Experiments
 	// NewExpEngine builds a parallel experiment engine.
 	NewExpEngine = exp.NewEngine
