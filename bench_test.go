@@ -1,6 +1,6 @@
 package wfadvice_test
 
-// One benchmark per experiment family (E1–E12): each measures the cost of
+// One benchmark per experiment family (E1–E14): each measures the cost of
 // regenerating the corresponding EXPERIMENTS.md table row set on the
 // parallel engine, plus micro-benchmarks for the substrates the solvers are
 // built on (the step runtime, shared-memory consensus, and the BG
@@ -16,6 +16,7 @@ package wfadvice_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"wfadvice"
 	"wfadvice/internal/exp"
@@ -48,6 +49,68 @@ func BenchmarkE9StrongRenaming(b *testing.B) { benchExperiment(b, "E9") }
 func BenchmarkE10RenamingSweep(b *testing.B) { benchExperiment(b, "E10") }
 func BenchmarkE11Hierarchy(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12BG(b *testing.B)            { benchExperiment(b, "E12") }
+func BenchmarkE13Explore(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14KSetSweep(b *testing.B)     { benchExperiment(b, "E14") }
+
+// BenchmarkNativeRegisterOps measures raw native-backend register
+// throughput: n C-processes spin-reading and writing their own padded
+// atomic cells with no algorithm on top. ns/op is the per-goroutine cost of
+// one operation through the Ops surface (step prologue + cell cache +
+// atomic access).
+func BenchmarkNativeRegisterOps(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			inputs := wfadvice.NewVector(n)
+			for i := range inputs {
+				inputs[i] = i
+			}
+			per := b.N
+			cfg := wfadvice.NativeConfig{
+				NC: n, Inputs: inputs,
+				CBody: func(i int) wfadvice.Body {
+					return func(e wfadvice.Ops) {
+						key := fmt.Sprintf("r/%d", i)
+						for s := 0; s < per; s += 2 {
+							e.Write(key, s)
+							e.Read(key)
+						}
+						e.Decide(i)
+					}
+				},
+				Pattern: wfadvice.FailureFree(0),
+			}
+			rt, err := wfadvice.NewNativeRuntime(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res := rt.Run(5 * time.Minute)
+			if res.Reason != wfadvice.NativeReasonAllDecided {
+				b.Fatalf("run ended %v", res.Reason)
+			}
+		})
+	}
+}
+
+// BenchmarkNativeConsensusStress measures the full native stress pipeline —
+// instance setup, goroutine spawn, live advice, decisions, post-hoc checks —
+// on the direct Ω consensus solver. Reported ns/op is per instance.
+func BenchmarkNativeConsensusStress(b *testing.B) {
+	sc, err := wfadvice.NewScenario(wfadvice.ScenarioParams{Task: "consensus", N: 4, Stabilize: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rt, err := wfadvice.NewNativeRuntime(sc.NativeConfig(int64(i), 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := rt.Run(time.Minute)
+		if err := wfadvice.NativeCheck(sc.Task, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkAllExperiments measures one full serial regeneration pass with
 // the engine's internal parallelism only (the efd-bench configuration).
@@ -74,7 +137,7 @@ func BenchmarkRuntimeStep(b *testing.B) {
 			cfg := wfadvice.Config{
 				NC: n, Inputs: inputs,
 				CBody: func(i int) wfadvice.Body {
-					return func(e *wfadvice.Env) {
+					return func(e wfadvice.Ops) {
 						for {
 							e.Read("x")
 						}

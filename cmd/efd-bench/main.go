@@ -1,5 +1,5 @@
 // Command efd-bench regenerates every experiment table in EXPERIMENTS.md
-// (E1–E14), each validating one proposition, theorem or algorithm figure of
+// (E1–E16), each validating one proposition, theorem or algorithm figure of
 // "Wait-Freedom with Advice".
 //
 // Trials run on a worker pool and are seeded per (experiment, cell, seed)
@@ -52,6 +52,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-trial timeout (0 = none); a timed-out trial is a failure row")
 		short    = flag.Bool("short", false, "use the reduced -short experiment grids")
 		jsonOut  = flag.Bool("json", false, "emit tables as JSON on stdout instead of text")
+		skipMeas = flag.Bool("skip-measured", false, "skip experiments whose rows contain wall-clock measurements (for byte-level determinism checks)")
 	)
 	flag.Parse()
 
@@ -60,9 +61,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "efd-bench: %v\n", err)
 		os.Exit(2)
 	}
+	if *skipMeas {
+		kept := experiments[:0]
+		for _, x := range experiments {
+			if !x.Measured {
+				kept = append(kept, x)
+			}
+		}
+		experiments = kept
+		if len(experiments) == 0 {
+			fmt.Fprintln(os.Stderr, "efd-bench: -skip-measured filtered out every selected experiment")
+			os.Exit(2)
+		}
+	}
 	if *list {
 		for _, x := range experiments {
-			fmt.Printf("%-4s %s\n", x.ID, x.Name)
+			measured := ""
+			if x.Measured {
+				measured = "  [measured]"
+			}
+			fmt.Printf("%-4s %s%s\n", x.ID, x.Name, measured)
 		}
 		return
 	}

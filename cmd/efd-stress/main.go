@@ -1,0 +1,91 @@
+// Command efd-stress hammers one task on the native hardware-speed backend:
+// a pool of workers runs back-to-back instances of the task's advice-based
+// algorithm — real goroutines over atomics-backed registers, live
+// failure-detector advice, injected S-process crashes — until the wall-clock
+// budget elapses, then reports throughput, decision-latency percentiles and
+// the post-hoc checker verdicts.
+//
+// Usage examples:
+//
+//	efd-stress -task consensus -n 4 -duration 2s
+//	efd-stress -task kset -n 5 -k 2 -crash 2 -duration 5s -json
+//	efd-stress -task renaming -n 5 -j 4 -k 2 -procs 8 -rate 100
+//
+// Exit status: 0 on success, 1 if any instance failed the checker (a ∆
+// violation or an undecided C-process), 2 on bad flags.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"wfadvice/internal/core"
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/native"
+)
+
+func main() {
+	var (
+		taskName  = flag.String("task", "consensus", "task/algorithm: "+strings.Join(core.ScenarioTasks(), " | "))
+		n         = flag.Int("n", 4, "number of C-processes (= S-processes)")
+		k         = flag.Int("k", 1, "agreement bound / concurrency level")
+		j         = flag.Int("j", 0, "renaming participants (0 = n-1)")
+		detector  = flag.String("detector", "", "advice detector override: "+strings.Join(core.ScenarioDetectors(), " | ")+" (default: the task's)")
+		crash     = flag.Int("crash", 0, "number of S-processes to crash mid-run")
+		crashAt   = flag.Int("crash-at", 0, "first crash time in ticks (0 = default 50)")
+		stabilize = flag.Int("stabilize", 0, "advice stabilization time in ticks (0 = default 100)")
+		procs     = flag.Int("procs", 0, "GOMAXPROCS for the whole process (0 = leave as is)")
+		workers   = flag.Int("workers", 0, "concurrent instances (0 = GOMAXPROCS / instance goroutines)")
+		duration  = flag.Duration("duration", 2*time.Second, "total stress wall-clock budget")
+		runBudget = flag.Duration("run-budget", 20*time.Second, "per-instance wall-clock budget")
+		rate      = flag.Float64("rate", 0, "throttle instance starts per second (0 = unthrottled)")
+		tick      = flag.Duration("tick", 0, "clock tick = one model time unit (0 = default 100µs)")
+		seed      = flag.Int64("seed", 1, "root seed for advice histories")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON on stdout")
+	)
+	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+	sc, err := core.NewScenario(core.ScenarioParams{
+		Task: *taskName, N: *n, K: *k, J: *j,
+		Crash: *crash, CrashAt: fdet.Time(*crashAt),
+		Detector: *detector, Stabilize: fdet.Time(*stabilize),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efd-stress: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := native.Stress(sc.Name, sc.Task, func(s int64) (native.Config, error) {
+		return sc.NativeConfig(s, *tick), nil
+	}, native.StressOptions{
+		Duration:    *duration,
+		RunBudget:   *runBudget,
+		Workers:     *workers,
+		ProcsPerRun: sc.NC + sc.NS,
+		Rate:        *rate,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efd-stress: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "efd-stress: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(rep.Render())
+	}
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}

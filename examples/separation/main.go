@@ -68,7 +68,7 @@ func main() {
 // The algorithm bodies mirror internal/core/separation.go through the public
 // runtime API, so the example is fully self-contained.
 func separationCBody(i int) wfadvice.Body {
-	return func(e *wfadvice.Env) {
+	return func(e wfadvice.Ops) {
 		e.Write(wfadvice.InKey(i), e.Input())
 		for {
 			target, ok := e.Read("fa").(int)
@@ -84,7 +84,7 @@ func separationCBody(i int) wfadvice.Body {
 }
 
 func separationSBody(_ int) wfadvice.Body {
-	return func(e *wfadvice.Env) {
+	return func(e wfadvice.Ops) {
 		for {
 			e.Write("fa", e.QueryFD())
 		}

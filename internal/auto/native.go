@@ -14,7 +14,7 @@ func RegKey(table string, i int) string { return fmt.Sprintf("%s/%d", table, i) 
 // performs n individual reads to build the collect. When the automaton
 // decides, the process decides and returns. This is the adapter that turns a
 // restricted algorithm (§2.2) into a body for the sim runtime.
-func RunOnEnv(e *sim.Env, table string, n, me int, a Automaton) {
+func RunOnEnv(e sim.Ops, table string, n, me int, a Automaton) {
 	for {
 		if d, ok := a.Decided(); ok {
 			e.Decide(d)
@@ -32,7 +32,7 @@ func RunOnEnv(e *sim.Env, table string, n, me int, a Automaton) {
 // Body returns a sim.Body running automaton factory(i, input) on the table.
 func Body(table string, n int, factory func(i int, input sim.Value) Automaton) func(i int) sim.Body {
 	return func(i int) sim.Body {
-		return func(e *sim.Env) {
+		return func(e sim.Ops) {
 			RunOnEnv(e, table, n, i, factory(i, e.Input()))
 		}
 	}

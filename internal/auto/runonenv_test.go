@@ -1,0 +1,115 @@
+package auto_test
+
+import (
+	"testing"
+
+	"wfadvice/internal/auto"
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/ids"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/vec"
+)
+
+// countAuto decides after need views, writing its view count each step.
+type countAuto struct{ views, need int }
+
+func (a *countAuto) WriteValue() auto.Value { return a.views }
+func (a *countAuto) OnView(auto.View)       { a.views++ }
+func (a *countAuto) Decided() (auto.Value, bool) {
+	if a.views >= a.need {
+		return a.views, true
+	}
+	return nil, false
+}
+
+// TestRunOnEnvStepShape drives RunOnEnv under a scripted scheduler and
+// asserts the exact operation sequence of the adapter: every automaton step
+// is one write of the own register followed by n individual reads of slots
+// 0..n-1 in order (a regular collect, never an atomic snapshot), and a
+// decision is exactly one extra step once the automaton has decided.
+func TestRunOnEnvStepShape(t *testing.T) {
+	const (
+		n    = 3 // table slots (= C-processes)
+		need = 2 // views until the automaton under test decides
+	)
+	inputs := vec.Of(10, 20, 30)
+	cfg := sim.Config{
+		NC: n, Inputs: inputs,
+		CBody: auto.Body("t", n, func(i int, _ sim.Value) auto.Automaton {
+			return &countAuto{need: need}
+		}),
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: 1000,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grant steps only to p1: need write+collect rounds plus the decide.
+	perRound := 1 + n
+	script := make([]ids.Proc, need*perRound+1)
+	for i := range script {
+		script[i] = ids.C(0)
+	}
+	res := rt.Run(&sim.Scripted{Seq: script})
+
+	var want []sim.Event
+	step := 0
+	add := func(kind sim.OpKind, key string, val sim.Value) {
+		want = append(want, sim.Event{Step: step, Proc: ids.C(0), Kind: kind, Key: key, Val: val})
+		step++
+	}
+	for r := 0; r < need; r++ {
+		add(sim.OpWrite, "t/0", r) // own register first, carrying the state
+		add(sim.OpRead, "t/0", r)  // then n reads in slot order
+		add(sim.OpRead, "t/1", nil)
+		add(sim.OpRead, "t/2", nil)
+	}
+	add(sim.OpDecide, "", need)
+
+	if len(res.Trace) != len(want) {
+		t.Fatalf("trace has %d events, want %d:\n%v", len(res.Trace), len(want), res.Trace)
+	}
+	for i, e := range res.Trace {
+		if e != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	if res.Outputs[0] != need {
+		t.Errorf("p1 decided %v, want %d", res.Outputs[0], need)
+	}
+	if res.Outputs[1] != nil || res.Outputs[2] != nil {
+		t.Errorf("unscheduled processes decided: %v", res.Outputs)
+	}
+}
+
+// TestRunOnEnvCollectOrderInterleaved verifies the collect sees exactly the
+// values present at each read's scheduling point: p2's write lands between
+// p1's reads of slot 0 and slot 1, so p1's view has it.
+func TestRunOnEnvCollectOrderInterleaved(t *testing.T) {
+	const n = 2
+	cfg := sim.Config{
+		NC: n, Inputs: vec.Of(1, 2),
+		CBody: auto.Body("t", n, func(i int, _ sim.Value) auto.Automaton {
+			return &countAuto{need: 1}
+		}),
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: 1000,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 writes, reads slot 0; p2 writes its register; p1 reads slot 1 and
+	// must observe p2's freshly written 0.
+	script := []ids.Proc{
+		ids.C(0), ids.C(0), // p1: write t/0, read t/0
+		ids.C(1), // p2: write t/1
+		ids.C(0), // p1: read t/1 — sees p2's value
+	}
+	res := rt.Run(&sim.Scripted{Seq: script})
+	last := res.Trace[len(res.Trace)-1]
+	if last.Proc != ids.C(0) || last.Kind != sim.OpRead || last.Key != "t/1" || last.Val != 0 {
+		t.Fatalf("final event %+v, want p1 read t/1 = 0", last)
+	}
+}

@@ -50,7 +50,7 @@ func consKey(j int) string { return fmt.Sprintf("cons/%d", j) }
 // decision registers round-robin and decide the first decided value. The
 // body takes no synchronization steps at all — wait-freedom is structural.
 func (c DirectConfig) DirectCBody(i int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
 		for j := 0; ; j = (j + 1) % c.K {
 			if v, ok := paxos.PollDecision(e, consKey(j)); ok {
@@ -66,7 +66,7 @@ func (c DirectConfig) DirectCBody(i int) sim.Body {
 // instances whose vector position currently names this process. A proposal
 // is harvested from the input registers first.
 func (c DirectConfig) DirectSBody(me int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		props := make([]*paxos.Proposer, c.K)
 		for j := range props {
 			props[j] = paxos.NewProposer(consKey(j), me, c.NS, nil)

@@ -99,7 +99,7 @@ type codeState struct {
 // every transition is consensus-decided.
 type replica struct {
 	cfg MachineConfig
-	e   *sim.Env
+	e   sim.Ops
 	me  int // proposer index: C i → i, S q → NC+q
 
 	inputs   []sim.Value
@@ -121,7 +121,7 @@ type replica struct {
 	cellProps map[cellID]*paxos.Proposer
 }
 
-func newReplica(cfg MachineConfig, e *sim.Env, me int) *replica {
+func newReplica(cfg MachineConfig, e sim.Ops, me int) *replica {
 	r := &replica{
 		cfg:         cfg,
 		e:           e,
@@ -355,7 +355,7 @@ func (r *replica) driveCells(codes []int) {
 // help drive the machine until the replica shows this process's own code
 // decided.
 func (c MachineConfig) SolverCBody(i int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
 		r := newReplica(c, e, i)
 		r.inputs[i] = e.Input()
@@ -373,7 +373,7 @@ func (c MachineConfig) SolverCBody(i int) sim.Body {
 // SolverSBody returns the Theorem 9 S-process body: publish the advice
 // vector and help drive the machine forever.
 func (c MachineConfig) SolverSBody(q int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		r := newReplica(c, e, c.NC+q)
 		for {
 			if xs, ok := e.QueryFD().([]int); ok {
@@ -392,7 +392,7 @@ func (c MachineConfig) SolverSBody(q int) sim.Body {
 // participation, then drive the k codes; the body never decides (the
 // simulated codes carry the payload) and runs until the step budget ends.
 func (c MachineConfig) LanesCBody(i int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
 		r := newReplica(c, e, i)
 		r.inputs[i] = e.Input()

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wfadvice/internal/auto"
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/native"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/task"
+	"wfadvice/internal/vec"
+	"wfadvice/internal/wfree"
+)
+
+// This file defines Scenario: one solvable EFD configuration — a task, the
+// advice detector it needs, and the algorithm bodies that solve it —
+// expressed once and executable on either backend. SimConfig yields a
+// lockstep sim.Config and NativeConfig a hardware-speed native.Config from
+// the same CBody/SBody factories, which is the "two backends, one algorithm
+// surface" contract: zero per-algorithm code changes between the model
+// runtime and real goroutines. cmd/efd-stress, cmd/efd-run-style tooling and
+// experiments E15/E16 all build their systems through it.
+
+// Scenario is a task plus the algorithm and advice that solve it, in
+// backend-independent form.
+type Scenario struct {
+	// Name identifies the scenario ("consensus/n=4/omega").
+	Name string
+	// Task is the decision task the run is checked against.
+	Task task.Task
+	// NC and NS are the system dimensions; Inputs the task input vector.
+	NC, NS int
+	Inputs vec.Vector
+	// CBody and SBody are the process programs, shared by both backends.
+	CBody, SBody func(i int) sim.Body
+	// Pattern is the S-process failure pattern; Detector generates the
+	// advice histories; Stabilize is the time (model ticks) after which the
+	// detector's eventual properties hold.
+	Pattern   fdet.Pattern
+	Detector  fdet.Detector
+	Stabilize fdet.Time
+}
+
+// SimConfig builds the lockstep backend configuration for one seeded run.
+func (s *Scenario) SimConfig(seed int64, maxSteps int) sim.Config {
+	return sim.Config{
+		NC: s.NC, NS: s.NS, Inputs: s.Inputs.Clone(),
+		CBody: s.CBody, SBody: s.SBody,
+		Pattern:  s.Pattern,
+		History:  s.Detector.History(s.Pattern, s.Stabilize, seed),
+		MaxSteps: maxSteps,
+	}
+}
+
+// NativeConfig builds the native backend configuration for one seeded run
+// (tick 0 = native.DefaultTick).
+func (s *Scenario) NativeConfig(seed int64, tick time.Duration) native.Config {
+	return native.Config{
+		NC: s.NC, NS: s.NS, Inputs: s.Inputs.Clone(),
+		CBody: s.CBody, SBody: s.SBody,
+		Pattern: s.Pattern,
+		History: s.Detector.History(s.Pattern, s.Stabilize, seed),
+		Tick:    tick,
+	}
+}
+
+// ScenarioParams selects and sizes a scenario.
+type ScenarioParams struct {
+	// Task is one of ScenarioTasks: "consensus" (direct Ω solver),
+	// "kset" (direct vector-Ωk solver), "renaming" (Theorem 9 machine over
+	// the Figure 4 automata), "prop1" (Theorem 9 machine at k=1 over the
+	// Proposition 1 solver, here for consensus), "nset" (the Proposition 2
+	// S-helpers with the trivial detector).
+	Task string
+	// N is the system size (NC = NS = N).
+	N int
+	// K is the agreement bound / concurrency level (tasks that use it).
+	K int
+	// J is the number of renaming participants (default N−1).
+	J int
+	// Crash crashes that many S-processes (highest indices first) at
+	// CrashAt (default 50 ticks), always leaving at least one correct.
+	Crash   int
+	CrashAt fdet.Time
+	// Detector overrides the task's default advice detector; one of
+	// ScenarioDetectors compatible with the task.
+	Detector string
+	// Stabilize is the advice stabilization time in model ticks
+	// (default 100). Before it, detector output is seeded noise — dueling
+	// leaders, flapping vectors — which is exactly the regime stress runs
+	// want to spend time in.
+	Stabilize fdet.Time
+}
+
+// ScenarioTasks lists the valid ScenarioParams.Task values.
+func ScenarioTasks() []string { return []string{"consensus", "kset", "renaming", "prop1", "nset"} }
+
+// ScenarioDetectors lists the valid ScenarioParams.Detector values.
+func ScenarioDetectors() []string { return []string{"omega", "vector", "trivial"} }
+
+// NewScenario validates p and builds the scenario.
+func NewScenario(p ScenarioParams) (*Scenario, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("scenario: need n ≥ 2, got %d", p.N)
+	}
+	if p.K <= 0 {
+		p.K = 1
+	}
+	if p.J <= 0 {
+		p.J = p.N - 1
+	}
+	if p.Stabilize <= 0 {
+		p.Stabilize = 100
+	}
+	if p.CrashAt <= 0 {
+		p.CrashAt = 50
+	}
+	if p.Crash >= p.N {
+		return nil, fmt.Errorf("scenario: %d crashes leave no correct S-process (n=%d)", p.Crash, p.N)
+	}
+	crashAt := map[int]fdet.Time{}
+	for c := 0; c < p.Crash; c++ {
+		crashAt[p.N-1-c] = p.CrashAt * fdet.Time(c+1)
+	}
+	pat := fdet.NewPattern(p.N, crashAt)
+
+	s := &Scenario{NC: p.N, NS: p.N, Pattern: pat, Stabilize: p.Stabilize}
+	intIn := func() vec.Vector {
+		v := vec.New(p.N)
+		for i := range v {
+			v[i] = 100 + i
+		}
+		return v
+	}
+	det := p.Detector
+	pick := func(def string, allowed ...string) (string, error) {
+		if det == "" {
+			return def, nil
+		}
+		for _, a := range allowed {
+			if det == a {
+				return det, nil
+			}
+		}
+		return "", fmt.Errorf("scenario: detector %q incompatible with task %q (want one of %v)", det, p.Task, allowed)
+	}
+
+	switch p.Task {
+	case "consensus":
+		d, err := pick("omega", "omega", "vector")
+		if err != nil {
+			return nil, err
+		}
+		s.Task = task.NewConsensus(p.N)
+		s.Inputs = intIn()
+		dc := DirectConfig{NC: p.N, NS: p.N, K: 1, LeaderVec: OmegaLeader}
+		if d == "vector" {
+			s.Detector = fdet.VectorOmegaK{K: 1, GoodPos: 0}
+			dc.LeaderVec = VectorLeader
+		} else {
+			s.Detector = fdet.Omega{}
+		}
+		s.CBody, s.SBody = dc.DirectCBody, dc.DirectSBody
+		s.Name = fmt.Sprintf("consensus/n=%d/%s", p.N, d)
+	case "kset":
+		if _, err := pick("vector", "vector"); err != nil {
+			return nil, err
+		}
+		if p.K >= p.N {
+			return nil, fmt.Errorf("scenario: kset needs k < n, got k=%d n=%d", p.K, p.N)
+		}
+		s.Task = task.NewSetAgreement(p.N, p.K)
+		s.Inputs = intIn()
+		s.Detector = fdet.VectorOmegaK{K: p.K, GoodPos: 0}
+		dc := DirectConfig{NC: p.N, NS: p.N, K: p.K, LeaderVec: VectorLeader}
+		s.CBody, s.SBody = dc.DirectCBody, dc.DirectSBody
+		s.Name = fmt.Sprintf("kset/n=%d/k=%d/vector", p.N, p.K)
+	case "renaming":
+		if _, err := pick("vector", "vector"); err != nil {
+			return nil, err
+		}
+		if p.J >= p.N {
+			return nil, fmt.Errorf("scenario: renaming needs j < n, got j=%d n=%d", p.J, p.N)
+		}
+		// The Figure 2 leader rule keys instances to participants while at
+		// most k processes participate; a decided participant stops driving,
+		// so liveness needs the advice positions to take over eventually,
+		// i.e. more participants than the concurrency level (as in E6).
+		if p.J <= p.K {
+			return nil, fmt.Errorf("scenario: renaming needs j > k, got j=%d k=%d", p.J, p.K)
+		}
+		s.Task = task.NewRenaming(p.N, p.J, p.J+p.K-1)
+		s.Inputs = vec.New(p.N)
+		for i := 0; i < p.J; i++ {
+			s.Inputs[i] = i + 1
+		}
+		s.Detector = fdet.VectorOmegaK{K: p.K, GoodPos: 0}
+		mc := MachineConfig{NC: p.N, NS: p.N, K: p.K,
+			Factory: func(i int, _ sim.Value) auto.Automaton { return wfree.NewRenaming(i) }}
+		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
+		s.Name = fmt.Sprintf("renaming/n=%d/j=%d/k=%d/vector", p.N, p.J, p.K)
+	case "prop1":
+		if _, err := pick("vector", "vector"); err != nil {
+			return nil, err
+		}
+		// Proposition 1's solver is 1-concurrent only; the Theorem 9 machine
+		// at k=1 is what makes it correct under real concurrency — the same
+		// automaton value on both backends, zero changes.
+		tk := task.NewConsensus(p.N)
+		s.Task = tk
+		s.Inputs = intIn()
+		s.Detector = fdet.VectorOmegaK{K: 1, GoodPos: 0}
+		mc := MachineConfig{NC: p.N, NS: p.N, K: 1,
+			Factory: func(i int, input sim.Value) auto.Automaton { return wfree.NewProp1(tk, i, input) }}
+		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
+		s.Name = fmt.Sprintf("prop1/n=%d/vector", p.N)
+	case "nset":
+		if _, err := pick("trivial", "trivial"); err != nil {
+			return nil, err
+		}
+		s.Task = task.NewSetAgreement(p.N, p.N)
+		s.Inputs = intIn()
+		s.Detector = fdet.Trivial{}
+		sh := SHelperConfig{NC: p.N, NS: p.N}
+		s.CBody, s.SBody = sh.SHelperCBody, sh.SHelperSBody
+		s.Name = fmt.Sprintf("nset/n=%d/trivial", p.N)
+	default:
+		return nil, fmt.Errorf("scenario: unknown task %q (valid: %v)", p.Task, ScenarioTasks())
+	}
+	if p.Crash > 0 {
+		s.Name += fmt.Sprintf("/crash=%d", p.Crash)
+	}
+	return s, nil
+}

@@ -20,7 +20,7 @@ const faKey = "fa" // register holding the latest FirstAlive output
 // the input, read the detector relay, and adopt the input of the process the
 // detector points at.
 func SeparationCBody(i int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
 		for {
 			d := e.Read(faKey)
@@ -38,7 +38,7 @@ func SeparationCBody(i int) sim.Body {
 
 // SeparationSBody relays the FirstAlive detector output into shared memory.
 func SeparationSBody(_ int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		for {
 			e.Write(faKey, e.QueryFD())
 		}

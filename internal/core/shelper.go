@@ -38,7 +38,7 @@ type SHelperConfig struct {
 
 // SHelperCBody returns the C-process body.
 func (c SHelperConfig) SHelperCBody(i int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
 		for j := 0; ; j = (j + 1) % c.NS {
 			if v := e.Read(fmt.Sprintf("V/%d", j)); v != nil {
@@ -52,7 +52,7 @@ func (c SHelperConfig) SHelperCBody(i int) sim.Body {
 // SHelperSBody returns the S-process body: wait until at least one C-process
 // writes its input, then publish that value.
 func (c SHelperConfig) SHelperSBody(q int) sim.Body {
-	return func(e *sim.Env) {
+	return func(e sim.Ops) {
 		for i := 0; ; i = (i + 1) % c.NC {
 			if v := e.Read(InKey(i)); v != nil {
 				e.Write(fmt.Sprintf("V/%d", q), v)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"time"
 
 	"wfadvice/internal/auto"
 	"wfadvice/internal/bg"
@@ -11,21 +12,27 @@ import (
 	"wfadvice/internal/explore"
 	"wfadvice/internal/fdet"
 	"wfadvice/internal/ids"
+	"wfadvice/internal/native"
 	"wfadvice/internal/sim"
 	"wfadvice/internal/task"
 	"wfadvice/internal/vec"
 	"wfadvice/internal/wfree"
 )
 
-// Experiments returns every experiment (E1–E14) in canonical order, each
+// Experiments returns every experiment (E1–E16) in canonical order, each
 // decomposed into independent trial cells for the Engine.
 func Experiments() []Experiment {
 	return []Experiment{
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
-		expE13(), expE14(),
+		expE13(), expE14(), expE15(), expE16(),
 	}
 }
+
+// meas marks a wall-clock measurement cell: the "~" prefix tells readers
+// (and the CI determinism normalizer) that the number is machine- and
+// run-dependent, unlike every other cell in the tables.
+func meas(v string) string { return "~" + v }
 
 func intInputs(n, base int) vec.Vector {
 	v := vec.New(n)
@@ -983,6 +990,162 @@ func expE14() Experiment {
 						return Row(fail, fmt.Sprint(tc.slots), fmt.Sprint(tc.k), fmt.Sprint(tc.depth),
 							fmt.Sprint(rep.Runs), fmt.Sprint(rep.Violations), baseline,
 							map[bool]string{true: "FAIL", false: "ok"}[fail])
+					},
+				})
+			}
+			return cells
+		},
+	}
+}
+
+// expE15 validates backend agreement: the same scenario — task, algorithm
+// bodies, detector, seed — runs on the lockstep sim runtime and on the
+// native goroutine runtime, and both decide outputs that are valid for the
+// task with every participant decided. This is the "two backends, one
+// algorithm surface" contract made executable: zero per-algorithm code
+// changes between the backends.
+func expE15() Experiment {
+	grid := []core.ScenarioParams{
+		{Task: "consensus", N: 3, Stabilize: 20},
+		{Task: "consensus", N: 4, Crash: 1, CrashAt: 30, Stabilize: 20},
+		{Task: "kset", N: 4, K: 2, Stabilize: 20},
+		{Task: "nset", N: 4, Stabilize: 1},
+		{Task: "prop1", N: 3, Stabilize: 20},
+		{Task: "renaming", N: 4, J: 3, K: 2, Stabilize: 20},
+	}
+	return Experiment{
+		ID:       "E15",
+		Name:     "native-vs-sim",
+		Title:    "backend agreement: sim and native decide valid outputs from one algorithm surface",
+		Claim:    "for every (scenario, seed): both backends decide for all participants and both outputs satisfy ∆",
+		Header:   []string{"scenario", "seeds", "sim steps", "native ops", "sim", "native"},
+		Measured: true,
+		Notes: []string{
+			"~-prefixed cells are wall-clock measurements (machine-dependent; skipped by -skip-measured determinism checks)",
+		},
+		Cells: func(opt Options) []Cell {
+			g := grid
+			if opt.Short {
+				g = []core.ScenarioParams{grid[0], grid[2], grid[3]}
+			}
+			var cells []Cell
+			for _, p := range g {
+				p := p
+				cells = append(cells, Cell{
+					Name: p.Task,
+					Run: func(t *Trial) Outcome {
+						s, err := core.NewScenario(p)
+						if err != nil {
+							return Row(true, p.Task, "-", "-", "-", "FAIL: "+err.Error(), "-")
+						}
+						seeds := 2 * opt.mult()
+						simSteps, natOps := 0, int64(0)
+						simV, natV := "ok", "ok"
+						fail := false
+						for sd := 0; sd < seeds; sd++ {
+							seed := t.Seed + int64(sd)
+							rt, err := sim.New(s.SimConfig(seed, 6_000_000))
+							if err != nil {
+								simV, fail = "FAIL: "+err.Error(), true
+								break
+							}
+							res := rt.Run(&sim.StopWhenDecided{Inner: sim.NewRandom(seed)})
+							simSteps += res.Steps
+							verr := sim.CheckTask(s.Task, res)
+							if verr == nil {
+								verr = sim.DecidedAll(res)
+							}
+							if verr != nil {
+								simV, fail = "FAIL: "+verr.Error(), true
+								break
+							}
+							nrt, err := native.New(s.NativeConfig(seed, 0))
+							if err != nil {
+								natV, fail = "FAIL: "+err.Error(), true
+								break
+							}
+							nres := nrt.Run(30 * time.Second)
+							natOps += nres.Ops
+							if nerr := native.Check(s.Task, nres); nerr != nil {
+								natV, fail = "FAIL: "+nerr.Error(), true
+								break
+							}
+						}
+						return Row(fail, s.Name, fmt.Sprint(seeds),
+							fmt.Sprint(simSteps), meas(fmt.Sprint(natOps)), simV, natV)
+					},
+				})
+			}
+			return cells
+		},
+	}
+}
+
+// expE16 measures the native backend under stress: back-to-back hardware-
+// speed instances per grid point, reporting throughput and decision-latency
+// percentiles with the post-hoc checker as the pass criterion. The numbers
+// answer the question the lockstep runtime cannot: how do the paper's
+// advice-based wait-free algorithms behave under real concurrency and load?
+func expE16() Experiment {
+	grid := []core.ScenarioParams{
+		{Task: "consensus", N: 4},
+		{Task: "consensus", N: 4, Crash: 2, CrashAt: 40},
+		{Task: "kset", N: 5, K: 2},
+		{Task: "nset", N: 4, Stabilize: 1},
+		{Task: "renaming", N: 4, J: 3, K: 2},
+		{Task: "prop1", N: 3},
+	}
+	return Experiment{
+		ID:       "E16",
+		Name:     "native-stress",
+		Title:    "native stress: throughput and decision latency across n, detector and crash patterns",
+		Claim:    "every grid point sustains load with zero checker violations and zero undecided runs",
+		Header:   []string{"scenario", "n", "detector", "crashes", "runs", "ops/sec", "p50", "p99", "checker"},
+		Measured: true,
+		Notes: []string{
+			"~-prefixed cells are wall-clock measurements (machine-dependent; skipped by -skip-measured determinism checks)",
+		},
+		Cells: func(opt Options) []Cell {
+			g := grid
+			dur := 250 * time.Millisecond
+			if opt.Short {
+				g = []core.ScenarioParams{grid[0], grid[1], grid[3]}
+				dur = 100 * time.Millisecond
+			}
+			var cells []Cell
+			for _, p := range g {
+				p := p
+				cells = append(cells, Cell{
+					Name: p.Task,
+					Run: func(t *Trial) Outcome {
+						s, err := core.NewScenario(p)
+						if err != nil {
+							return Row(true, p.Task, "-", "-", "-", "-", "-", "-", "-", "FAIL: "+err.Error())
+						}
+						rep, err := native.Stress(s.Name, s.Task, func(seed int64) (native.Config, error) {
+							return s.NativeConfig(seed, 0), nil
+						}, native.StressOptions{
+							Duration:    time.Duration(opt.mult()) * dur,
+							RunBudget:   20 * time.Second,
+							ProcsPerRun: s.NC + s.NS,
+							Seed:        t.Seed,
+						})
+						if err != nil {
+							return Row(true, s.Name, "-", "-", "-", "-", "-", "-", "-", "FAIL: "+err.Error())
+						}
+						verdict := "ok"
+						fail := rep.Failed() || rep.Runs == 0
+						if fail {
+							verdict = fmt.Sprintf("FAIL (%d violations, %d undecided, %d runs)",
+								rep.Violations, rep.Undecided, rep.Runs)
+						}
+						return Row(fail, s.Name, fmt.Sprint(s.NC), s.Detector.Name(),
+							fmt.Sprint(len(s.Pattern.FaultySet())),
+							meas(fmt.Sprint(rep.Runs)),
+							meas(fmt.Sprintf("%.0f", rep.OpsPerSec)),
+							meas(rep.Latency.P50.Round(10*time.Microsecond).String()),
+							meas(rep.Latency.P99.Round(10*time.Microsecond).String()),
+							verdict)
 					},
 				})
 			}

@@ -32,7 +32,7 @@ func toySpec(withS bool) explore.Spec {
 				NC: 2, NS: ns,
 				Inputs: vec.Of(1, 1),
 				CBody: func(i int) sim.Body {
-					return func(e *sim.Env) {
+					return func(e sim.Ops) {
 						e.Write(fmt.Sprintf("flag/%d", i), 1)
 						other := e.Read(fmt.Sprintf("flag/%d", 1-i))
 						if other != nil {
@@ -47,7 +47,7 @@ func toySpec(withS bool) explore.Spec {
 			}
 			if withS {
 				cfg.SBody = func(int) sim.Body {
-					return func(e *sim.Env) {
+					return func(e sim.Ops) {
 						for {
 							e.Read("noop")
 						}
@@ -326,7 +326,7 @@ func TestDedupCollapsesConvergentStates(t *testing.T) {
 				NC: 2, NS: 0,
 				Inputs: vec.Of(1, 1),
 				CBody: func(i int) sim.Body {
-					return func(e *sim.Env) {
+					return func(e sim.Ops) {
 						e.Write("k", 1)
 						e.Write("k", 1)
 						e.Decide(e.Read("k"))

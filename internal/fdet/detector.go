@@ -40,6 +40,35 @@ func noiseRand(seed int64, i int, t Time) *rand.Rand {
 	return rand.New(rand.NewSource(seed*1_000_003 + int64(i)*7_919 + int64(t)))
 }
 
+// DetectorNames lists the families resolvable by ByName.
+func DetectorNames() []string {
+	return []string{"trivial", "omega", "anti-omega", "vector-omega", "eventually-perfect"}
+}
+
+// ByName resolves a detector family by name; k parameterizes the ¬Ωk and
+// vector-Ωk families (ignored by the others). It is the library-level
+// registry behind the wfadvice.DetectorByName facade, covering every
+// family the native advice service can serve. Note that cmd/efd-stress
+// selects detectors through core.ScenarioParams instead, which validates
+// task-compatible short names (omega | vector | trivial) — only those
+// families have consuming algorithms in the scenario zoo.
+func ByName(name string, k int) (Detector, error) {
+	switch name {
+	case "trivial":
+		return Trivial{}, nil
+	case "omega":
+		return Omega{}, nil
+	case "anti-omega":
+		return AntiOmegaK{K: k}, nil
+	case "vector-omega":
+		return VectorOmegaK{K: k, GoodPos: 0}, nil
+	case "eventually-perfect":
+		return EventuallyPerfect{}, nil
+	default:
+		return nil, fmt.Errorf("fdet: unknown detector %q (valid: %v)", name, DetectorNames())
+	}
+}
+
 // Trivial is the trivial failure detector: it always outputs ⊥ (nil). A task
 // solvable with Trivial and n ≥ m is exactly a wait-free solvable task
 // (Proposition 2).

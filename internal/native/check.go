@@ -1,0 +1,49 @@
+package native
+
+import (
+	"fmt"
+
+	"wfadvice/internal/task"
+)
+
+// This file is the post-hoc decision-task checker. Native runs have no
+// lockstep analyzer — there is no global step trace to replay — so validity
+// is judged from what a run leaves behind: the participating input vector
+// and the collected decision vector.
+
+// CheckDelta verifies that the run's (I, O) pair satisfies task t: the
+// participating inputs lie in I and the decided outputs are ∆-related to
+// them (∆ is prefix-closed, so undecided entries are permitted here).
+func CheckDelta(t task.Task, res *Result) error {
+	if err := t.InDomain(res.Inputs); err != nil {
+		return fmt.Errorf("input vector outside I: %w", err)
+	}
+	if err := t.Validate(res.Inputs, res.Outputs); err != nil {
+		return fmt.Errorf("(I,O) violates ∆: %w", err)
+	}
+	return nil
+}
+
+// CheckDecided verifies the wait-freedom obligation. In the EFD model
+// C-processes never crash, and on the native backend a spawned C-process
+// keeps taking steps until it decides or the run is cut off — so every
+// participating C-process must have decided by the end of the run. An
+// undecided participant means the algorithm failed to be wait-free within
+// the run's budget.
+func CheckDecided(res *Result) error {
+	for i := range res.Inputs {
+		if res.Participated[i] && res.Outputs[i] == nil {
+			return fmt.Errorf("wait-freedom: p%d kept taking steps but never decided (run ended: %v after %v, %d ops)",
+				i+1, res.Reason, res.Elapsed.Round(0), res.Ops)
+		}
+	}
+	return nil
+}
+
+// Check is the full post-hoc checker: ∆ plus the wait-freedom obligation.
+func Check(t task.Task, res *Result) error {
+	if err := CheckDelta(t, res); err != nil {
+		return err
+	}
+	return CheckDecided(res)
+}

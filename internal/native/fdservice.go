@@ -1,0 +1,106 @@
+package native
+
+import (
+	"sync/atomic"
+	"time"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/sim"
+)
+
+// clock maps the monotonic wall clock onto the model's discrete time T = N:
+// one fdet.Time unit per tick. start is written once before any process
+// goroutine exists and is read-only afterwards.
+type clock struct {
+	start time.Time
+	tick  time.Duration
+}
+
+func (c *clock) now() fdet.Time       { return int(time.Since(c.start) / c.tick) }
+func (c *clock) since() time.Duration { return time.Since(c.start) }
+
+// adviceCell holds the latest sampled advice for one S-process module,
+// padded so modules on different cores never false-share.
+type adviceCell struct {
+	_ pad
+	v atomic.Pointer[sim.Value]
+	_ pad
+}
+
+// fdService is the live failure-detector service: a background goroutine
+// samples the configured history once per clock tick and publishes the
+// latest advice for every S-process module, so a QueryFD on the hot path is
+// a single atomic load. Histories are pure functions of (module, time);
+// sampling them centrally against the monotonic clock is what turns the
+// model's H(q_i, τ) into advice that moves with real time — Ω and vector-Ωk
+// leaders stabilize, ¬Ωk windows rotate, ◇P suspicion sets converge, all
+// while the algorithms run at hardware speed.
+type fdService struct {
+	clock *clock
+	hist  fdet.History
+	cells []adviceCell
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func newFDService(c *clock, hist fdet.History, n int) *fdService {
+	return &fdService{
+		clock: c,
+		hist:  hist,
+		cells: make([]adviceCell, n),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// startService publishes the tick-0 advice synchronously (so the first
+// query of every module is already served) and starts the sampling loop.
+func (s *fdService) startService() {
+	s.sample()
+	go s.run()
+}
+
+func (s *fdService) stopService() {
+	close(s.stop)
+	<-s.done
+}
+
+func (s *fdService) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.clock.tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample evaluates the history for every module at the current tick and
+// publishes the results.
+func (s *fdService) sample() {
+	now := s.clock.now()
+	for i := range s.cells {
+		var v sim.Value
+		if s.hist != nil {
+			v = s.hist.Query(i, now)
+		}
+		p := new(sim.Value)
+		*p = v
+		s.cells[i].v.Store(p)
+	}
+}
+
+// advice returns the latest published advice for module i.
+func (s *fdService) advice(i int) sim.Value {
+	if i < 0 || i >= len(s.cells) {
+		return nil
+	}
+	if p := s.cells[i].v.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -1,0 +1,411 @@
+package native_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wfadvice/internal/auto"
+	"wfadvice/internal/core"
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/native"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/task"
+	"wfadvice/internal/vec"
+	"wfadvice/internal/wfree"
+)
+
+// tick is the test clock granularity; tests use small stabilize times so
+// every run finishes in a few milliseconds.
+const tick = 50 * time.Microsecond
+
+func scenario(t *testing.T, p core.ScenarioParams) *core.Scenario {
+	t.Helper()
+	s, err := core.NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func runNative(t *testing.T, s *core.Scenario, seed int64) *native.Result {
+	t.Helper()
+	rt, err := native.New(s.NativeConfig(seed, tick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Run(10 * time.Second)
+}
+
+// TestRegisters exercises the raw register table: concurrent writers on
+// distinct keys, last-value visibility after the run, and nil for never
+// written keys.
+func TestRegisters(t *testing.T) {
+	n := 4
+	inputs := vec.New(n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	var mu sync.Mutex
+	got := make(map[int]any)
+	cfg := native.Config{
+		NC: n, Inputs: inputs,
+		CBody: func(i int) sim.Body {
+			return func(e sim.Ops) {
+				e.Write("slot", e.Input())
+				if v := e.Read("never-written"); v != nil {
+					t.Errorf("p%d read %v from a never-written register", i+1, v)
+				}
+				v := e.Read("slot")
+				mu.Lock()
+				got[i] = v
+				mu.Unlock()
+				e.Decide(e.Input())
+			}
+		},
+		Pattern: fdet.FailureFree(0),
+	}
+	rt, err := native.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(5 * time.Second)
+	if res.Reason != native.ReasonAllDecided {
+		t.Fatalf("run ended %v, want all-decided", res.Reason)
+	}
+	for i := 0; i < n; i++ {
+		// Each process read the register after its own write, so it must see
+		// some process's input (atomicity: never a torn or nil value).
+		v, ok := got[i].(int)
+		if !ok || v < 0 || v >= n {
+			t.Errorf("p%d read %v, want an input value", i+1, got[i])
+		}
+	}
+	if res.Ops == 0 {
+		t.Error("no operations counted")
+	}
+}
+
+// TestConsensusNative runs the direct Ω solver end to end on goroutines and
+// checks the post-hoc verdicts.
+func TestConsensusNative(t *testing.T) {
+	s := scenario(t, core.ScenarioParams{Task: "consensus", N: 4, Stabilize: 20})
+	for seed := int64(1); seed <= 3; seed++ {
+		res := runNative(t, s, seed)
+		if err := native.Check(s.Task, res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Reason != native.ReasonAllDecided {
+			t.Fatalf("seed %d: run ended %v", seed, res.Reason)
+		}
+		for i := 0; i < 4; i++ {
+			if res.Latency[i] <= 0 {
+				t.Errorf("seed %d: p%d missing decision latency", seed, i+1)
+			}
+		}
+	}
+}
+
+// TestKSetNative runs the direct vector-Ωk solver with k = 2.
+func TestKSetNative(t *testing.T) {
+	s := scenario(t, core.ScenarioParams{Task: "kset", N: 5, K: 2, Stabilize: 20})
+	res := runNative(t, s, 7)
+	if err := native.Check(s.Task, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMachineNative runs the Theorem 9 machine (Figure 4 renaming automata)
+// on the native backend — the same automata and solver bodies as the sim
+// experiments, zero changes.
+func TestMachineNative(t *testing.T) {
+	s := scenario(t, core.ScenarioParams{Task: "renaming", N: 4, J: 3, K: 2, Stabilize: 20})
+	res := runNative(t, s, 11)
+	if err := native.Check(s.Task, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProp1Native runs Proposition 1's sequential solver under real
+// concurrency via the k=1 machine.
+func TestProp1Native(t *testing.T) {
+	s := scenario(t, core.ScenarioParams{Task: "prop1", N: 3, Stabilize: 20})
+	res := runNative(t, s, 13)
+	if err := native.Check(s.Task, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashInjection crashes an S-process mid-run and verifies both that the
+// process was actually killed and that the survivors still decide (Ω's
+// leader is correct in the pattern, so advice routes around the crash).
+func TestCrashInjection(t *testing.T) {
+	s := scenario(t, core.ScenarioParams{Task: "consensus", N: 4, Crash: 2, CrashAt: 5, Stabilize: 20})
+	res := runNative(t, s, 3)
+	if err := native.Check(s.Task, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashed) == 0 {
+		t.Fatal("no S-process was killed by crash injection")
+	}
+	for _, q := range res.Crashed {
+		if !s.Pattern.Faulty(q) {
+			t.Errorf("q%d was killed but is correct in the pattern", q+1)
+		}
+	}
+}
+
+// TestRunOnEnvNative runs a bare collect automaton directly on the native
+// backend through auto.RunOnEnv — the adapter is backend-independent. With a
+// KSet automaton per process and unbounded concurrency the decisions may
+// legitimately span up to n values; n-set agreement captures exactly that.
+func TestRunOnEnvNative(t *testing.T) {
+	n := 4
+	inputs := vec.New(n)
+	for i := range inputs {
+		inputs[i] = 100 + i
+	}
+	cfg := native.Config{
+		NC: n, Inputs: inputs,
+		CBody: auto.Body("reg", n, func(i int, input sim.Value) auto.Automaton {
+			return wfree.NewKSet(i, input)
+		}),
+		Pattern: fdet.FailureFree(0),
+	}
+	rt, err := native.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(5 * time.Second)
+	if err := native.Check(task.NewSetAgreement(n, n), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckDecided verifies the wait-freedom obligation fires on a budget
+// cutoff: a C-process that spins forever must be reported.
+func TestCheckDecided(t *testing.T) {
+	inputs := vec.Of(1, 2)
+	cfg := native.Config{
+		NC: 2, Inputs: inputs,
+		CBody: func(i int) sim.Body {
+			return func(e sim.Ops) {
+				if i == 0 {
+					e.Decide(e.Input())
+					return
+				}
+				for { // never decides
+					e.Read("x")
+				}
+			}
+		},
+		Pattern: fdet.FailureFree(0),
+	}
+	rt, err := native.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(30 * time.Millisecond)
+	if res.Reason != native.ReasonBudget {
+		t.Fatalf("run ended %v, want budget", res.Reason)
+	}
+	if err := native.CheckDecided(res); err == nil {
+		t.Fatal("CheckDecided accepted an undecided participant")
+	}
+	if err := native.CheckDelta(task.NewSetAgreement(2, 2), res); err != nil {
+		t.Fatalf("prefix output should satisfy ∆: %v", err)
+	}
+}
+
+// TestReasonAllReturned: a C-body that returns without deciding must not be
+// reported as an all-decided run.
+func TestReasonAllReturned(t *testing.T) {
+	cfg := native.Config{
+		NC: 2, Inputs: vec.Of(1, 2),
+		CBody: func(i int) sim.Body {
+			return func(e sim.Ops) {
+				if i == 0 {
+					e.Decide(e.Input())
+					return
+				}
+				// i == 1 participates (takes a step) then returns without
+				// deciding — the wait-freedom violation shape.
+				e.Read("x")
+			}
+		},
+		Pattern: fdet.FailureFree(0),
+	}
+	rt, err := native.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(5 * time.Second)
+	if res.Reason != native.ReasonAllReturned {
+		t.Fatalf("run ended %v, want all-returned", res.Reason)
+	}
+	if err := native.CheckDecided(res); err == nil {
+		t.Fatal("CheckDecided accepted the undecided returner")
+	}
+}
+
+// TestFDService verifies the live service serves the stabilized advice: with
+// Ω stabilized from tick 0, every query must return the pattern's leader.
+func TestFDService(t *testing.T) {
+	n := 3
+	pat := fdet.NewPattern(n, map[int]fdet.Time{0: 0}) // q1 faulty from the start
+	leader := pat.MinCorrect()
+	var mu sync.Mutex
+	seen := make(map[any]bool)
+	cfg := native.Config{
+		NS: n, Inputs: vec.New(0),
+		SBody: func(q int) sim.Body {
+			return func(e sim.Ops) {
+				for i := 0; i < 50; i++ {
+					v := e.QueryFD()
+					mu.Lock()
+					seen[v] = true
+					mu.Unlock()
+				}
+			}
+		},
+		Pattern: pat,
+		History: fdet.Omega{}.History(pat, 0, 1),
+	}
+	rt, err := native.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || !seen[leader] {
+		t.Fatalf("advice values %v, want exactly the stable leader %d", seen, leader)
+	}
+}
+
+// TestFDServiceFamilies verifies the live service serves every detector
+// family — Ω, ¬Ωk, vector-Ωk, ◇P — with the family's stabilized output
+// shape: the service is history-generic, so advice is whatever the fdet
+// history prescribes at the sampled tick.
+func TestFDServiceFamilies(t *testing.T) {
+	n, k := 4, 2
+	pat := fdet.NewPattern(n, map[int]fdet.Time{n - 1: 0}) // q4 faulty from the start
+	check := map[string]func(v any) error{
+		"omega": func(v any) error {
+			if l, ok := v.(int); !ok || pat.Faulty(l) {
+				return fmt.Errorf("Ω output %v, want a correct leader index", v)
+			}
+			return nil
+		},
+		"anti-omega": func(v any) error {
+			if set, ok := v.([]int); !ok || len(set) != n-k {
+				return fmt.Errorf("¬Ω%d output %v, want a set of n-k=%d ids", k, v, n-k)
+			}
+			return nil
+		},
+		"vector-omega": func(v any) error {
+			if vec, ok := v.([]int); !ok || len(vec) != k {
+				return fmt.Errorf("vector-Ω%d output %v, want a %d-vector", k, v, k)
+			}
+			return nil
+		},
+		"eventually-perfect": func(v any) error {
+			set, ok := v.([]int)
+			if !ok {
+				return fmt.Errorf("◇P output %v (%T), want []int", v, v)
+			}
+			for _, x := range set {
+				if !pat.Faulty(x) {
+					return fmt.Errorf("◇P suspects correct q%d after stabilization", x+1)
+				}
+			}
+			return nil
+		},
+	}
+	for name, validate := range check {
+		det, err := fdet.ByName(name, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var errs []error
+		cfg := native.Config{
+			NS: n, Inputs: vec.New(0),
+			SBody: func(q int) sim.Body {
+				if pat.Faulty(q) {
+					return nil // spawn correct modules only
+				}
+				return func(e sim.Ops) {
+					for i := 0; i < 20; i++ {
+						if err := validate(e.QueryFD()); err != nil {
+							mu.Lock()
+							errs = append(errs, err)
+							mu.Unlock()
+							return
+						}
+					}
+				}
+			},
+			Pattern: pat,
+			History: det.History(pat, 0, 1), // stabilized from tick 0
+		}
+		rt, err := native.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Run(5 * time.Second)
+		mu.Lock()
+		if len(errs) > 0 {
+			t.Errorf("%s: %v", name, errs[0])
+		}
+		mu.Unlock()
+	}
+}
+
+// TestStress exercises the harness on a short consensus burst and checks the
+// report's internal consistency.
+func TestStress(t *testing.T) {
+	s := scenario(t, core.ScenarioParams{Task: "consensus", N: 4, Stabilize: 10})
+	dur := 200 * time.Millisecond
+	if testing.Short() {
+		dur = 60 * time.Millisecond
+	}
+	rep, err := native.Stress(s.Name, s.Task, func(seed int64) (native.Config, error) {
+		return s.NativeConfig(seed, tick), nil
+	}, native.StressOptions{Duration: dur, RunBudget: 5 * time.Second, Workers: 2, ProcsPerRun: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("stress failed:\n%s", rep.Render())
+	}
+	if rep.Runs == 0 || rep.Ops == 0 || rep.Decisions == 0 {
+		t.Fatalf("empty stress report:\n%s", rep.Render())
+	}
+	if rep.Latency.Samples == 0 || rep.Latency.P50 <= 0 || rep.Latency.Max < rep.Latency.P99 {
+		t.Fatalf("implausible latency stats:\n%s", rep.Render())
+	}
+}
+
+// TestStressRate verifies the -rate throttle paces instance starts.
+func TestStressRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	s := scenario(t, core.ScenarioParams{Task: "nset", N: 3, Stabilize: 1})
+	rep, err := native.Stress(s.Name, s.Task, func(seed int64) (native.Config, error) {
+		return s.NativeConfig(seed, tick), nil
+	}, native.StressOptions{Duration: 300 * time.Millisecond, Workers: 2, Rate: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 starts/sec over 300ms is ~6 instances; allow generous slack but
+	// catch an unthrottled loop (hundreds of runs).
+	if rep.Runs > 20 {
+		t.Fatalf("rate limiter ineffective: %d runs in %v", rep.Runs, rep.Elapsed)
+	}
+	if rep.Failed() {
+		t.Fatalf("stress failed:\n%s", rep.Render())
+	}
+}

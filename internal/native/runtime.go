@@ -1,0 +1,427 @@
+// Package native is the hardware-speed execution backend for the EFD model:
+// process bodies are real goroutines over atomics-backed shared registers
+// (one padded atomic pointer cell per register), advice comes from a live
+// failure-detector service that samples an fdet.History against a monotonic
+// clock, and S-process crashes are injected mid-run per an fdet.Pattern.
+//
+// Any program written against sim.Ops — auto.RunOnEnv and with it every
+// collect automaton (Prop 1, the Figure 3/4 renaming algorithms, k-set
+// agreement), the direct vector-Ωk solver, the Theorem 9 machine — runs
+// unmodified on either backend. What changes is the source of interleavings:
+// the explicit lockstep scheduler in sim, the hardware and the Go scheduler
+// here. Native runs therefore have no lockstep analyzer; validity is
+// established post hoc by Check, which validates the collected decision
+// vector against the task's ∆ together with the wait-freedom obligation
+// that every correct C-process decides.
+package native
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/ids"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/vec"
+)
+
+// DefaultTick is the wall-clock length of one fdet.Time unit when Config
+// leaves Tick zero: long enough for a ticker to keep up under load, short
+// enough that a few hundred ticks of detector stabilization pass in tens of
+// milliseconds.
+const DefaultTick = 100 * time.Microsecond
+
+// Config describes a system to execute natively. The process-facing fields
+// are shared with sim.Config, so the same CBody/SBody factories drive both
+// backends.
+type Config struct {
+	NC int // number of C-processes (m in the paper)
+	NS int // number of S-processes (n in the paper)
+
+	// Inputs holds one task input per C-process; a nil entry means the
+	// process does not participate and is not spawned.
+	Inputs vec.Vector
+
+	// CBody returns the program of C-process i; it must not be nil if any
+	// input is non-nil.
+	CBody func(i int) sim.Body
+	// SBody returns the program of S-process i; nil (or a nil return) spawns
+	// no S-process.
+	SBody func(i int) sim.Body
+
+	// Pattern is the failure pattern for the S-processes; crash times are in
+	// clock ticks. A crashed S-process is killed at its next operation.
+	Pattern fdet.Pattern
+	// History supplies failure-detector advice, sampled once per tick by the
+	// live service; nil histories answer nil (the trivial detector).
+	History fdet.History
+
+	// Tick is the wall-clock length of one fdet.Time unit (0 = DefaultTick).
+	Tick time.Duration
+}
+
+// Reason reports why a native run ended.
+type Reason int
+
+// Run end reasons.
+const (
+	ReasonAllDecided  Reason = iota + 1 // every spawned C-process decided
+	ReasonBudget                        // wall-clock budget exhausted first
+	ReasonAllReturned                   // every goroutine returned, some C-process undecided
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonAllDecided:
+		return "all-decided"
+	case ReasonBudget:
+		return "budget"
+	case ReasonAllReturned:
+		return "all-returned"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Result captures everything observable about a finished native run. There
+// is no step trace — at hardware speed recording one would serialize the
+// run — so analysis is post hoc over the decisions and counters.
+type Result struct {
+	Inputs    vec.Vector
+	Outputs   vec.Vector // decision of each C-process (nil = undecided)
+	Decisions map[int]sim.Value
+	// Participated[i] reports whether C-process i performed at least one
+	// operation.
+	Participated map[int]bool
+	// Latency[i] is the wall-clock time from run start to C-process i's
+	// decision.
+	Latency map[int]time.Duration
+	// Crashed lists the S-processes killed by crash injection.
+	Crashed []int
+	// Ops is the total number of operations (reads, writes, advice queries,
+	// decisions) performed across all processes.
+	Ops int64
+	// Elapsed is the run's wall-clock duration; Ticks the final clock value.
+	Elapsed time.Duration
+	Ticks   fdet.Time
+	Reason  Reason
+}
+
+// sentinels unwound through process goroutines; identity-compared in the
+// spawn wrapper's recover.
+var (
+	errStopped = errors.New("native: runtime stopped")
+	errCrashed = errors.New("native: S-process crashed")
+)
+
+// cacheLine padding keeps each hot atomic on its own line so unrelated
+// registers (and advice cells) never false-share.
+type pad [64]byte
+
+// cell is one shared register: a single atomic pointer, padded on both
+// sides against false sharing with neighboring allocations.
+type cell struct {
+	_ pad
+	v atomic.Pointer[sim.Value]
+	_ pad
+}
+
+// store is the register table: a mutex-guarded key→cell map. The mutex is
+// off the hot path — every Env caches the cells it has touched, so a key
+// costs one lookup per (process, register) pair and atomic loads/stores
+// after that.
+type store struct {
+	mu sync.Mutex
+	m  map[string]*cell
+}
+
+func (s *store) lookup(key string) *cell {
+	s.mu.Lock()
+	c := s.m[key]
+	if c == nil {
+		c = new(cell)
+		s.m[key] = c
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// Runtime executes one configured system natively. A Runtime is single-use:
+// create, Run, inspect the Result.
+type Runtime struct {
+	cfg       Config
+	store     store
+	clock     *clock
+	fd        *fdService
+	envs      []*Env
+	stopped   atomic.Bool
+	undecided atomic.Int64
+	live      atomic.Int64
+	doneCh    chan struct{}
+	doneOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+// New validates cfg and builds a native runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.NC < 0 || cfg.NS < 0 {
+		return nil, fmt.Errorf("native: negative process counts")
+	}
+	if len(cfg.Inputs) != cfg.NC {
+		return nil, fmt.Errorf("native: %d inputs for %d C-processes", len(cfg.Inputs), cfg.NC)
+	}
+	if cfg.Pattern.N != cfg.NS {
+		return nil, fmt.Errorf("native: pattern over %d processes, want %d", cfg.Pattern.N, cfg.NS)
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = DefaultTick
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		store:  store{m: make(map[string]*cell)},
+		clock:  &clock{tick: cfg.Tick},
+		doneCh: make(chan struct{}),
+	}
+	r.fd = newFDService(r.clock, cfg.History, cfg.NS)
+	for i := 0; i < cfg.NC; i++ {
+		if cfg.Inputs[i] == nil {
+			continue
+		}
+		if cfg.CBody == nil {
+			return nil, fmt.Errorf("native: participating C-process p%d has no body", i+1)
+		}
+		r.addEnv(ids.C(i), cfg.Inputs[i], cfg.CBody(i))
+	}
+	for i := 0; i < cfg.NS; i++ {
+		if cfg.SBody == nil {
+			continue
+		}
+		b := cfg.SBody(i)
+		if b == nil {
+			continue
+		}
+		r.addEnv(ids.S(i), nil, b)
+	}
+	return r, nil
+}
+
+func (r *Runtime) addEnv(id ids.Proc, input sim.Value, body sim.Body) {
+	e := &Env{
+		r:         r,
+		id:        id,
+		input:     input,
+		body:      body,
+		crashable: id.IsS(),
+		cache:     make(map[string]*cell),
+	}
+	r.envs = append(r.envs, e)
+	if id.IsC() {
+		r.undecided.Add(1)
+	}
+}
+
+func (r *Runtime) done() { r.doneOnce.Do(func() { close(r.doneCh) }) }
+
+// Run starts every process goroutine and the failure-detector service, then
+// waits until every spawned C-process has decided, every goroutine has
+// returned, or the wall-clock budget elapses, whichever comes first.
+// S-processes conceptually run forever; once the computation side is done
+// the run is over, exactly like the sim backend's StopWhenDecided.
+func (r *Runtime) Run(budget time.Duration) *Result {
+	r.clock.start = time.Now()
+	r.fd.startService()
+	r.live.Store(int64(len(r.envs)))
+	for _, e := range r.envs {
+		e := e
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer func() {
+				x := recover()
+				if r.live.Add(-1) == 0 {
+					r.done()
+				}
+				if x == errCrashed { //nolint:errorlint // sentinel identity
+					e.crashed = true
+					return
+				}
+				if x != nil && x != errStopped { //nolint:errorlint // sentinel identity
+					panic(x)
+				}
+			}()
+			e.body(e)
+		}()
+	}
+	// A system with C-processes ends when they all decide; one without ends
+	// when every spawned goroutine returns (handled above), or immediately
+	// if nothing was spawned.
+	if len(r.envs) == 0 {
+		r.done()
+	}
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	reason := ReasonAllDecided
+	select {
+	case <-r.doneCh:
+	case <-timer.C:
+		reason = ReasonBudget
+	}
+	r.stopped.Store(true)
+	r.wg.Wait()
+	r.fd.stopService()
+	// doneCh also closes when every goroutine returns; if that happened
+	// with C-processes still undecided (a body with a non-deciding return
+	// path), the run did not actually end in the all-decided state.
+	if reason == ReasonAllDecided && r.undecided.Load() != 0 {
+		reason = ReasonAllReturned
+	}
+	return r.result(reason)
+}
+
+func (r *Runtime) result(reason Reason) *Result {
+	res := &Result{
+		Inputs:       r.cfg.Inputs.Clone(),
+		Outputs:      vec.New(r.cfg.NC),
+		Decisions:    make(map[int]sim.Value),
+		Participated: make(map[int]bool),
+		Latency:      make(map[int]time.Duration),
+		Elapsed:      r.clock.since(),
+		Ticks:        r.clock.now(),
+		Reason:       reason,
+	}
+	for _, e := range r.envs {
+		res.Ops += e.ops
+		if e.id.IsC() {
+			if e.ops > 0 {
+				res.Participated[e.id.Index] = true
+			}
+			if e.decided {
+				res.Decisions[e.id.Index] = e.decision
+				res.Outputs[e.id.Index] = e.decision
+				res.Latency[e.id.Index] = e.decideAt
+			}
+		} else if e.crashed {
+			res.Crashed = append(res.Crashed, e.id.Index)
+		}
+	}
+	// The run's input vector contains only participating processes (§2.2).
+	for i := range res.Inputs {
+		if !res.Participated[i] {
+			res.Inputs[i] = nil
+		}
+	}
+	return res
+}
+
+// Env is a process's handle to the shared registers, its failure-detector
+// module and its decision action on the native backend. Operations execute
+// immediately against atomics; there is no scheduler to park on.
+type Env struct {
+	r         *Runtime
+	id        ids.Proc
+	input     sim.Value
+	body      sim.Body
+	crashable bool
+	// The fields below are goroutine-local; the runtime reads them only
+	// after wg.Wait(), which orders the accesses.
+	cache    map[string]*cell
+	ops      int64
+	decided  bool
+	decision sim.Value
+	decideAt time.Duration
+	crashed  bool
+}
+
+var _ sim.Ops = (*Env)(nil)
+
+// step is the per-operation prologue: count the op, honor a stop, and kill a
+// crashed S-process. Crash injection happens here — at the process's next
+// operation after its pattern crash time — which is as "mid-run" as the
+// model gets: crashes strike between operations, never inside one.
+func (e *Env) step() {
+	e.ops++
+	if e.r.stopped.Load() {
+		panic(errStopped)
+	}
+	if e.crashable && e.r.cfg.Pattern.Crashed(e.id.Index, e.r.clock.now()) {
+		panic(errCrashed)
+	}
+}
+
+func (e *Env) cell(key string) *cell {
+	if c := e.cache[key]; c != nil {
+		return c
+	}
+	c := e.r.store.lookup(key)
+	e.cache[key] = c
+	return c
+}
+
+// Proc returns this process's identity.
+func (e *Env) Proc() ids.Proc { return e.id }
+
+// Index returns this process's zero-based index within its kind.
+func (e *Env) Index() int { return e.id.Index }
+
+// NC returns the number of C-processes in the system.
+func (e *Env) NC() int { return e.r.cfg.NC }
+
+// NS returns the number of S-processes in the system.
+func (e *Env) NS() int { return e.r.cfg.NS }
+
+// Input returns the task input of a C-process (nil for S-processes).
+func (e *Env) Input() sim.Value { return e.input }
+
+// HasDecided reports whether this C-process already decided.
+func (e *Env) HasDecided() bool { return e.decided }
+
+// Read performs one atomic register read.
+func (e *Env) Read(key string) sim.Value {
+	e.step()
+	if p := e.cell(key).v.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Write performs one atomic register write. Values must be treated as
+// immutable once written, as on the sim backend — here the race detector
+// enforces it.
+func (e *Env) Write(key string, v sim.Value) {
+	e.step()
+	p := new(sim.Value)
+	*p = v
+	e.cell(key).v.Store(p)
+}
+
+// QueryFD returns this S-process's current advice from the live
+// failure-detector service: one atomic load of the latest sampled value.
+func (e *Env) QueryFD() sim.Value {
+	if !e.id.IsS() {
+		panic(fmt.Sprintf("native: C-process %v queried the failure detector", e.id))
+	}
+	e.step()
+	return e.r.fd.advice(e.id.Index)
+}
+
+// Decide records this C-process's decision. The decision is final; deciding
+// twice panics, as on the sim backend.
+func (e *Env) Decide(v sim.Value) {
+	if !e.id.IsC() {
+		panic(fmt.Sprintf("native: S-process %v attempted to decide", e.id))
+	}
+	if e.decided {
+		panic(fmt.Sprintf("native: %v decided twice", e.id))
+	}
+	e.step()
+	e.decided = true
+	e.decision = v
+	e.decideAt = e.r.clock.since()
+	if e.r.undecided.Add(-1) == 0 {
+		e.r.done()
+	}
+}

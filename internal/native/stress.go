@@ -1,0 +1,231 @@
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wfadvice/internal/task"
+)
+
+// This file is the stress harness behind cmd/efd-stress, experiment E16 and
+// the native benchmarks: a pool of workers runs back-to-back native
+// instances of one scenario until a wall-clock deadline, every instance is
+// checked post hoc, and the aggregate is reported as throughput, decision
+// latency percentiles and checker verdicts.
+
+// maxLatencySamples bounds the retained decision-latency samples; beyond it
+// the percentile base stops growing but counters keep counting.
+const maxLatencySamples = 1 << 20
+
+// StressOptions configures a stress run.
+type StressOptions struct {
+	// Duration is the total wall-clock budget; the harness stops starting
+	// new instances once it elapses.
+	Duration time.Duration
+	// RunBudget bounds one instance (0 = 5s). An instance cut off with
+	// undecided C-processes counts in Undecided.
+	RunBudget time.Duration
+	// Workers is the number of concurrent instances; 0 sizes the pool as
+	// max(1, GOMAXPROCS / goroutines-per-instance) so the machine is loaded
+	// without drowning in oversubscription.
+	Workers int
+	// ProcsPerRun is the goroutine count of one instance (NC+NS), used only
+	// for the default worker sizing.
+	ProcsPerRun int
+	// Rate throttles instance starts per second across all workers
+	// (0 = unthrottled).
+	Rate float64
+	// Seed is the root seed; instance r derives seed Seed*1_000_003 + r.
+	Seed int64
+}
+
+func (o StressOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	per := o.ProcsPerRun
+	if per <= 0 {
+		per = 8
+	}
+	w := runtime.GOMAXPROCS(0) / per
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o StressOptions) runBudget() time.Duration {
+	if o.RunBudget > 0 {
+		return o.RunBudget
+	}
+	return 5 * time.Second
+}
+
+// LatencyStats summarizes decision latencies.
+type LatencyStats struct {
+	P50     time.Duration `json:"p50"`
+	P90     time.Duration `json:"p90"`
+	P99     time.Duration `json:"p99"`
+	Max     time.Duration `json:"max"`
+	Samples int           `json:"samples"`
+}
+
+// StressReport is the aggregate outcome of a stress run.
+type StressReport struct {
+	Scenario  string        `json:"scenario"`
+	Workers   int           `json:"workers"`
+	Runs      int           `json:"runs"`
+	Decisions int           `json:"decisions"`
+	Ops       int64         `json:"ops"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	// Violations counts instances whose decisions broke the task's ∆ — an
+	// algorithm safety bug. Undecided counts instances cut off before every
+	// C-process decided — a liveness budget miss.
+	Violations int          `json:"violations"`
+	Undecided  int          `json:"undecided"`
+	Crashes    int          `json:"crashes"` // injected S-process kills observed
+	Latency    LatencyStats `json:"latency"`
+	Errors     []string     `json:"errors,omitempty"` // first few checker messages
+}
+
+// Render formats the report as aligned text.
+func (r *StressReport) Render() string {
+	verdict := "OK"
+	if r.Violations > 0 || r.Undecided > 0 {
+		verdict = fmt.Sprintf("FAIL (%d violations, %d undecided)", r.Violations, r.Undecided)
+	}
+	s := fmt.Sprintf("scenario:   %s\nworkers:    %d\nruns:       %d\ndecisions:  %d\nops:        %d\nops/sec:    %.0f\nlatency:    p50=%v p90=%v p99=%v max=%v (%d samples)\ncrashes:    %d\nchecker:    %s\n",
+		r.Scenario, r.Workers, r.Runs, r.Decisions, r.Ops, r.OpsPerSec,
+		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max, r.Latency.Samples,
+		r.Crashes, verdict)
+	for _, e := range r.Errors {
+		s += "error:      " + e + "\n"
+	}
+	return s
+}
+
+// Failed reports whether the checker rejected any instance.
+func (r *StressReport) Failed() bool { return r.Violations > 0 || r.Undecided > 0 }
+
+// Stress hammers one scenario: mk builds a fresh Config per instance from a
+// derived seed (fresh registers, fresh bodies, seeded history), the worker
+// pool runs instances back to back until opt.Duration elapses, and every
+// finished instance is checked against t.
+func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt StressOptions) (*StressReport, error) {
+	workers := opt.workers()
+	budget := opt.runBudget()
+	rep := &StressReport{Scenario: name, Workers: workers}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		next      int64 // instance counter, guarded by mu
+	)
+	var firstErr error
+	start := time.Now()
+	deadline := start.Add(opt.Duration)
+	var interval time.Duration
+	if opt.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / opt.Rate)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				r := next
+				next++
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop || time.Now().After(deadline) {
+					return
+				}
+				if interval > 0 {
+					// Pace starts against the global schedule: instance r is
+					// due at start + r*interval. An instance due after the
+					// deadline is never started — the throttle must not
+					// stretch the run past -duration.
+					due := start.Add(time.Duration(r) * interval)
+					if due.After(deadline) {
+						return
+					}
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				cfg, err := mk(opt.Seed*1_000_003 + r)
+				if err == nil && len(cfg.Inputs) != cfg.NC {
+					err = fmt.Errorf("native: scenario produced %d inputs for %d C-processes", len(cfg.Inputs), cfg.NC)
+				}
+				var rt *Runtime
+				if err == nil {
+					rt, err = New(cfg)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				res := rt.Run(budget)
+				verr := CheckDelta(t, res)
+				derr := CheckDecided(res)
+				mu.Lock()
+				rep.Runs++
+				rep.Ops += res.Ops
+				rep.Decisions += len(res.Decisions)
+				rep.Crashes += len(res.Crashed)
+				if verr != nil {
+					rep.Violations++
+					if len(rep.Errors) < 5 {
+						rep.Errors = append(rep.Errors, verr.Error())
+					}
+				} else if derr != nil {
+					rep.Undecided++
+					if len(rep.Errors) < 5 {
+						rep.Errors = append(rep.Errors, derr.Error())
+					}
+				}
+				if len(latencies) < maxLatencySamples {
+					for _, l := range res.Latency {
+						latencies = append(latencies, l)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep.Elapsed = time.Since(start)
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / s
+	}
+	rep.Latency = summarize(latencies)
+	return rep, nil
+}
+
+// summarize computes latency percentiles over the retained samples.
+func summarize(ls []time.Duration) LatencyStats {
+	st := LatencyStats{Samples: len(ls)}
+	if len(ls) == 0 {
+		return st
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(ls)-1))
+		return ls[i]
+	}
+	st.P50, st.P90, st.P99 = at(0.50), at(0.90), at(0.99)
+	st.Max = ls[len(ls)-1]
+	return st
+}

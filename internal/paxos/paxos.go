@@ -43,7 +43,7 @@ func DecKey(key string) string { return key + "/dec" }
 
 // PollDecision reads the decision register of an instance (one step) and
 // returns its value if the instance has decided.
-func PollDecision(e *sim.Env, key string) (Value, bool) {
+func PollDecision(e sim.Ops, key string) (Value, bool) {
 	if v, ok := e.Read(DecKey(key)).(decRec); ok {
 		return v.V, true
 	}
@@ -129,7 +129,7 @@ func (p *Proposer) Round() int { return p.round }
 // whether this process currently believes it should drive the instance;
 // non-leaders only poll the decision register. StepOp returns the decision
 // when known.
-func (p *Proposer) StepOp(e *sim.Env, lead bool) (Value, bool) {
+func (p *Proposer) StepOp(e sim.Ops, lead bool) (Value, bool) {
 	switch p.pc {
 	case pcDone:
 		return p.decision, true
@@ -202,7 +202,7 @@ func (p *Proposer) StepOp(e *sim.Env, lead bool) (Value, bool) {
 
 // readPhaseBlock reads the next block register of the current phase and
 // folds it into the phase state.
-func (p *Proposer) readPhaseBlock(e *sim.Env) {
+func (p *Proposer) readPhaseBlock(e sim.Ops) {
 	j := p.readIdx
 	p.readIdx++
 	if j == p.me {

@@ -13,7 +13,7 @@ import (
 // leader — the adversarial multi-leader case in which only safety matters.
 func proposerBody(key string, n int, decided *[]Value) func(i int) sim.Body {
 	return func(i int) sim.Body {
-		return func(e *sim.Env) {
+		return func(e sim.Ops) {
 			p := NewProposer(key, i, n, fmt.Sprintf("v%d", i))
 			for {
 				if v, ok := p.StepOp(e, true); ok {
@@ -103,7 +103,7 @@ func TestStableLeaderDecides(t *testing.T) {
 		NC:     n,
 		Inputs: inputs,
 		CBody: func(i int) sim.Body {
-			return func(e *sim.Env) {
+			return func(e sim.Ops) {
 				p := NewProposer("inst", i, n, fmt.Sprintf("v%d", i))
 				for {
 					if v, ok := p.StepOp(e, i == 0); ok {
@@ -142,7 +142,7 @@ func TestLateLeaderAdoptsEarlierValue(t *testing.T) {
 		NC:     n,
 		Inputs: vec.Of("a", "b"),
 		CBody: func(i int) sim.Body {
-			return func(e *sim.Env) {
+			return func(e sim.Ops) {
 				p := NewProposer("inst", i, n, fmt.Sprintf("v%d", i))
 				steps := 0
 				for {

@@ -71,9 +71,42 @@ type PendingOp struct {
 	Key  string // register key; empty for queryFD and decide
 }
 
-// Body is a process program. It runs in its own goroutine; every call to an
-// Env operation consumes one scheduled step.
-type Body func(e *Env)
+// Ops is the operation surface a process body runs against: the shared
+// atomic registers, the process's failure-detector module (S-processes), its
+// decision action (C-processes), and its static identity. It is the contract
+// extracted from Env so that the same body — and hence the same algorithm —
+// runs unmodified on either execution backend: the lockstep sim runtime
+// (*Env) or the hardware-speed goroutine runtime (internal/native).
+//
+// On the sim backend every operation consumes one scheduled step; on the
+// native backend operations execute immediately against atomics and the
+// interleaving is whatever the hardware and the Go scheduler produce.
+type Ops interface {
+	// Proc returns this process's identity.
+	Proc() ids.Proc
+	// Index returns this process's zero-based index within its kind.
+	Index() int
+	// NC returns the number of C-processes in the system.
+	NC() int
+	// NS returns the number of S-processes in the system.
+	NS() int
+	// Input returns the task input of a C-process (nil for S-processes).
+	Input() Value
+	// HasDecided reports whether this C-process already decided.
+	HasDecided() bool
+	// Read performs one atomic register read.
+	Read(key string) Value
+	// Write performs one atomic register write.
+	Write(key string, v Value)
+	// QueryFD queries this S-process's failure-detector module.
+	QueryFD() Value
+	// Decide records this C-process's decision (final; deciding twice panics).
+	Decide(v Value)
+}
+
+// Body is a process program. It runs in its own goroutine against an Ops
+// backend; on the sim runtime every operation consumes one scheduled step.
+type Body func(e Ops)
 
 // Config describes a system to execute.
 type Config struct {
@@ -416,6 +449,8 @@ type Env struct {
 	r *Runtime
 	p *proc
 }
+
+var _ Ops = (*Env)(nil)
 
 // await parks the process until the scheduler grants it a step, announcing
 // the operation it is about to perform.

@@ -22,7 +22,7 @@ func echoConfig(nc int, maxSteps int) Config {
 		NS:     0,
 		Inputs: inputs,
 		CBody: func(i int) Body {
-			return func(e *Env) {
+			return func(e Ops) {
 				key := fmt.Sprintf("r/%d", i)
 				e.Write(key, e.Input())
 				v := e.Read(key)
@@ -77,14 +77,14 @@ func TestRuntimeMaxStepsStopsLoopers(t *testing.T) {
 		NS:     1,
 		Inputs: vec.Of(7),
 		CBody: func(i int) Body {
-			return func(e *Env) {
+			return func(e Ops) {
 				for {
 					e.Read("nothing")
 				}
 			}
 		},
 		SBody: func(i int) Body {
-			return func(e *Env) {
+			return func(e Ops) {
 				for {
 					e.Write("beat", e.QueryFD())
 				}
@@ -114,14 +114,14 @@ func TestRuntimeCrashStopsSProcess(t *testing.T) {
 		NS:     2,
 		Inputs: vec.Of(1),
 		CBody: func(i int) Body {
-			return func(e *Env) {
+			return func(e Ops) {
 				for {
 					e.Read("x")
 				}
 			}
 		},
 		SBody: func(i int) Body {
-			return func(e *Env) {
+			return func(e Ops) {
 				for {
 					e.Write(fmt.Sprintf("s/%d", i), e.QueryFD())
 				}
@@ -157,7 +157,7 @@ func TestKGateEnforcesConcurrency(t *testing.T) {
 		NC:     nc,
 		Inputs: inputs,
 		CBody: func(i int) Body {
-			return func(e *Env) {
+			return func(e Ops) {
 				for j := 0; j < 5; j++ { // a few steps before deciding
 					e.Write(fmt.Sprintf("w/%d", i), j)
 				}

@@ -50,7 +50,7 @@ func specOf(name string, slots, parts, idleS int, factory func(i int) auto.Autom
 			}
 			if idleS > 0 {
 				cfg.SBody = func(int) sim.Body {
-					return func(e *sim.Env) {
+					return func(e sim.Ops) {
 						for {
 							e.Read("noop")
 						}

@@ -18,7 +18,10 @@
 //     Theorem 7 puzzle pipeline
 //   - the systematic schedule explorer (bounded model checking over the
 //     runtime) with trace record/replay and counterexample shrinking
-//   - the experiment harness regenerating EXPERIMENTS.md (E1–E14).
+//   - the native hardware-speed backend: the same algorithms on real
+//     goroutines over atomics-backed registers, with live advice, crash
+//     injection, a post-hoc checker and a stress harness
+//   - the experiment harness regenerating EXPERIMENTS.md (E1–E16).
 //
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package wfadvice
@@ -31,6 +34,7 @@ import (
 	"wfadvice/internal/explore"
 	"wfadvice/internal/fdet"
 	"wfadvice/internal/ids"
+	"wfadvice/internal/native"
 	"wfadvice/internal/sim"
 	"wfadvice/internal/task"
 	"wfadvice/internal/vec"
@@ -121,8 +125,12 @@ type (
 	Config = sim.Config
 	// Runtime executes one system, one scheduled step at a time.
 	Runtime = sim.Runtime
-	// Env is a process's handle to shared memory and advice.
+	// Env is a process's handle to shared memory and advice on the sim
+	// backend.
 	Env = sim.Env
+	// Ops is the backend-independent operation surface of a process body;
+	// both sim.Env and native.Env implement it.
+	Ops = sim.Ops
 	// Body is a process program.
 	Body = sim.Body
 	// Result captures a finished run.
@@ -260,6 +268,62 @@ var (
 	ExploreKSetViolation           = wfree.ExploreKSetViolation
 )
 
+// Native hardware-speed backend: the same sim.Ops programs on real
+// goroutines over atomics-backed registers, with a live failure-detector
+// service, crash injection, a post-hoc decision checker and a stress
+// harness.
+type (
+	// NativeConfig describes a system to execute natively; its
+	// process-facing fields are shared with Config, so the same CBody/SBody
+	// factories drive both backends.
+	NativeConfig = native.Config
+	// NativeRuntime executes one system at hardware speed.
+	NativeRuntime = native.Runtime
+	// NativeEnv is the native implementation of Ops.
+	NativeEnv = native.Env
+	// NativeResult captures a finished native run (decisions, latencies,
+	// op counts, injected crashes).
+	NativeResult = native.Result
+	// StressOptions configures a native stress run; StressReport is its
+	// aggregate outcome (throughput, latency percentiles, verdicts).
+	StressOptions = native.StressOptions
+	StressReport  = native.StressReport
+	// Scenario is one task + algorithm + advice configuration executable on
+	// either backend ("two backends, one algorithm surface").
+	Scenario = core.Scenario
+	// ScenarioParams selects and sizes a Scenario.
+	ScenarioParams = core.ScenarioParams
+)
+
+// Native backend entry points.
+var (
+	// NewNativeRuntime validates a NativeConfig and builds a runtime.
+	NewNativeRuntime = native.New
+	// NativeCheck is the post-hoc checker: ∆ plus the wait-freedom
+	// obligation that every correct C-process decides. NativeCheckDelta and
+	// NativeCheckDecided are its two halves.
+	NativeCheck        = native.Check
+	NativeCheckDelta   = native.CheckDelta
+	NativeCheckDecided = native.CheckDecided
+	// NativeStress hammers one scenario with back-to-back native instances.
+	NativeStress = native.Stress
+	// NewScenario builds a backend-independent scenario; DetectorByName
+	// resolves a detector family for CLI use.
+	NewScenario    = core.NewScenario
+	DetectorByName = fdet.ByName
+)
+
+// Native run end reasons.
+const (
+	// NativeReasonAllDecided: every spawned C-process decided.
+	NativeReasonAllDecided = native.ReasonAllDecided
+	// NativeReasonBudget: the wall-clock budget elapsed first.
+	NativeReasonBudget = native.ReasonBudget
+	// NativeReasonAllReturned: every goroutine returned with some C-process
+	// undecided (a body with a non-deciding return path).
+	NativeReasonAllReturned = native.ReasonAllReturned
+)
+
 // Experiments.
 type (
 	// ExpTable is one regenerated experiment table.
@@ -284,9 +348,9 @@ type (
 
 // Experiment harness entry points.
 var (
-	// AllExperiments returns the E1–E14 runners (engine-backed facade).
+	// AllExperiments returns the E1–E16 runners (engine-backed facade).
 	AllExperiments = exp.All
-	// Experiments returns the E1–E14 experiments in cell-generator form.
+	// Experiments returns the E1–E16 experiments in cell-generator form.
 	Experiments = exp.Experiments
 	// NewExpEngine builds a parallel experiment engine.
 	NewExpEngine = exp.NewEngine
