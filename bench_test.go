@@ -92,6 +92,49 @@ func BenchmarkNativeRegisterOps(b *testing.B) {
 	}
 }
 
+// BenchmarkNativeCollect measures the batched-collect fast path: n
+// C-processes each running a write + ReadMany(n) loop over one register
+// table — the auto.RunOnEnv access pattern. ns/op is the per-goroutine cost
+// of one full write+collect round (one prologue plus n atomic loads against
+// the memoized key slice).
+func BenchmarkNativeCollect(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			inputs := wfadvice.NewVector(n)
+			for i := range inputs {
+				inputs[i] = i
+			}
+			per := b.N
+			cfg := wfadvice.NativeConfig{
+				NC: n, Inputs: inputs,
+				CBody: func(i int) wfadvice.Body {
+					return func(e wfadvice.Ops) {
+						keys := make([]string, n)
+						for j := range keys {
+							keys[j] = fmt.Sprintf("t/%d", j)
+						}
+						for s := 0; s < per; s++ {
+							e.Write(keys[i], s)
+							e.ReadMany(keys)
+						}
+						e.Decide(i)
+					}
+				},
+				Pattern: wfadvice.FailureFree(0),
+			}
+			rt, err := wfadvice.NewNativeRuntime(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res := rt.Run(5 * time.Minute)
+			if res.Reason != wfadvice.NativeReasonAllDecided {
+				b.Fatalf("run ended %v", res.Reason)
+			}
+		})
+	}
+}
+
 // BenchmarkNativeConsensusStress measures the full native stress pipeline —
 // instance setup, goroutine spawn, live advice, decisions, post-hoc checks —
 // on the direct Ω consensus solver. Reported ns/op is per instance.

@@ -10,6 +10,7 @@
 //	efd-stress -task consensus -n 4 -duration 2s
 //	efd-stress -task kset -n 5 -k 2 -crash 2 -duration 5s -json
 //	efd-stress -task renaming -n 5 -j 4 -k 2 -procs 8 -rate 100
+//	efd-stress -task consensus -n 16 -park spin -duration 2s
 //
 // Exit status: 0 on success, 1 if any instance failed the checker (a ∆
 // violation or an undecided C-process), 2 on bad flags.
@@ -39,6 +40,7 @@ func main() {
 		crash     = flag.Int("crash", 0, "number of S-processes to crash mid-run")
 		crashAt   = flag.Int("crash-at", 0, "first crash time in ticks (0 = default 50)")
 		stabilize = flag.Int("stabilize", 0, "advice stabilization time in ticks (0 = default 100)")
+		park      = flag.String("park", "", "C-process poll-loop policy: yield (default) | spin | sleep duration (e.g. 50µs)")
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the whole process (0 = leave as is)")
 		workers   = flag.Int("workers", 0, "concurrent instances (0 = GOMAXPROCS / instance goroutines)")
 		duration  = flag.Duration("duration", 2*time.Second, "total stress wall-clock budget")
@@ -56,6 +58,7 @@ func main() {
 		Task: *taskName, N: *n, K: *k, J: *j,
 		Crash: *crash, CrashAt: fdet.Time(*crashAt),
 		Detector: *detector, Stabilize: fdet.Time(*stabilize),
+		Park: *park,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efd-stress: %v\n", err)

@@ -1,0 +1,147 @@
+// Command efd-trend checks a native stress trajectory: it parses a
+// BENCH_native.json artifact — a concatenation of per-scenario
+// native.StressReport JSON documents, as produced by the CI bench-smoke
+// job — and fails on structural problems or large ops/sec regressions.
+//
+// Two modes, combinable:
+//
+//   - Floor mode (-min-ops): every report must show at least the given
+//     ops/sec. CI uses a floor far below any healthy runner's numbers, so
+//     only a catastrophic regression (an accidentally serialized hot path,
+//     a spin collapse) trips it while machine-to-machine variance does not.
+//   - Baseline mode (-baseline): reports are compared scenario-by-scenario
+//     against an earlier artifact; a report whose ops/sec fell below
+//     -min-frac of its baseline fails. Meant for like-for-like machines
+//     (local before/after runs, dedicated perf boxes).
+//
+// Every mode also enforces the structural invariants: at least one report,
+// every report ran instances, and no report carries checker violations or
+// undecided processes.
+//
+// Usage:
+//
+//	efd-trend BENCH_native.json
+//	efd-trend -min-ops 50000 BENCH_native.json
+//	efd-trend -baseline old/BENCH_native.json -min-frac 0.25 BENCH_native.json
+//
+// Exit status: 0 on pass, 1 on any failed check, 2 on bad flags or input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"wfadvice/internal/native"
+)
+
+func parseReports(path string) ([]*native.StressReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	var reps []*native.StressReport
+	for {
+		var r native.StressReport
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: report %d: %v", path, len(reps)+1, err)
+		}
+		reps = append(reps, &r)
+	}
+	return reps, nil
+}
+
+func main() {
+	var (
+		minOps   = flag.Float64("min-ops", 0, "fail any report below this ops/sec floor (0 = skip)")
+		baseline = flag.String("baseline", "", "earlier BENCH_native.json to compare against (scenario-matched)")
+		minFrac  = flag.Float64("min-frac", 0.25, "with -baseline: fail a scenario below this fraction of its baseline ops/sec")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "efd-trend: exactly one BENCH_native.json argument required")
+		os.Exit(2)
+	}
+	reps, err := parseReports(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efd-trend: %v\n", err)
+		os.Exit(2)
+	}
+	var base map[string]*native.StressReport
+	if *baseline != "" {
+		old, err := parseReports(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efd-trend: %v\n", err)
+			os.Exit(2)
+		}
+		base = make(map[string]*native.StressReport, len(old))
+		for _, r := range old {
+			base[r.Scenario] = r
+		}
+	}
+
+	failures := 0
+	failf := func(format string, a ...any) {
+		failures++
+		fmt.Printf("FAIL  "+format+"\n", a...)
+	}
+	if len(reps) == 0 {
+		failf("no stress reports in %s", flag.Arg(0))
+	}
+	// Scenario names key the baseline match, so duplicates would silently
+	// shadow each other and a dropped scenario would dodge the comparison
+	// entirely — both are artifact-structure failures, not regressions.
+	seen := make(map[string]bool, len(reps))
+	for _, r := range reps {
+		if seen[r.Scenario] {
+			failf("%s: duplicate report for this scenario", r.Scenario)
+		}
+		seen[r.Scenario] = true
+	}
+	for _, r := range reps {
+		switch {
+		case r.Runs == 0:
+			failf("%s: zero instances ran", r.Scenario)
+		case r.Failed():
+			failf("%s: checker rejected the run (%d violations, %d undecided)", r.Scenario, r.Violations, r.Undecided)
+		case *minOps > 0 && r.OpsPerSec < *minOps:
+			failf("%s: %.0f ops/sec below floor %.0f", r.Scenario, r.OpsPerSec, *minOps)
+		default:
+			note := ""
+			if b := base[r.Scenario]; b != nil && b.OpsPerSec > 0 {
+				frac := r.OpsPerSec / b.OpsPerSec
+				note = fmt.Sprintf("  (%.2fx of baseline)", frac)
+				if frac < *minFrac {
+					failf("%s: %.0f ops/sec is %.2fx of baseline %.0f (min %.2fx)",
+						r.Scenario, r.OpsPerSec, frac, b.OpsPerSec, *minFrac)
+					continue
+				}
+			}
+			fmt.Printf("ok    %s: %d runs, %.0f ops/sec, p99 %v%s\n",
+				r.Scenario, r.Runs, r.OpsPerSec, r.Latency.P99, note)
+		}
+	}
+	missing := make([]string, 0, len(base))
+	for scenario := range base {
+		if !seen[scenario] {
+			missing = append(missing, scenario)
+		}
+	}
+	sort.Strings(missing)
+	for _, scenario := range missing {
+		failf("%s: present in baseline but missing from %s (a removed scenario is a 100%% regression)",
+			scenario, flag.Arg(0))
+	}
+	if failures > 0 {
+		fmt.Printf("efd-trend: %d failed checks over %d reports\n", failures, len(reps))
+		os.Exit(1)
+	}
+	fmt.Printf("efd-trend: %d reports ok\n", len(reps))
+}

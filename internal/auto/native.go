@@ -11,21 +11,24 @@ func RegKey(table string, i int) string { return fmt.Sprintf("%s/%d", table, i) 
 
 // RunOnEnv executes automaton a as C-process slot me of an n-slot table over
 // the real runtime: each step writes the automaton's register and then
-// performs n individual reads to build the collect. When the automaton
-// decides, the process decides and returns. This is the adapter that turns a
-// restricted algorithm (§2.2) into a body for the sim runtime.
+// builds the collect with one ReadMany over the n slot keys — on the sim
+// backend exactly n individual reads in slot order (the step shape is pinned
+// by the scripted-scheduler tests), on the native backend one prologue plus
+// n atomic loads against the memoized key slice. When the automaton decides,
+// the process decides and returns. This is the adapter that turns a
+// restricted algorithm (§2.2) into a body for either backend.
 func RunOnEnv(e sim.Ops, table string, n, me int, a Automaton) {
+	keys := make([]string, n)
+	for j := range keys {
+		keys[j] = RegKey(table, j)
+	}
 	for {
 		if d, ok := a.Decided(); ok {
 			e.Decide(d)
 			return
 		}
-		e.Write(RegKey(table, me), a.WriteValue())
-		view := make(View, n)
-		for j := 0; j < n; j++ {
-			view[j] = e.Read(RegKey(table, j))
-		}
-		a.OnView(view)
+		e.Write(keys[me], a.WriteValue())
+		a.OnView(e.ReadMany(keys))
 	}
 }
 

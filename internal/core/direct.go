@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"wfadvice/internal/paxos"
 	"wfadvice/internal/sim"
@@ -17,6 +19,64 @@ import (
 // values are decided; the one stabilized vector position guarantees at least
 // one instance decides in every fair run.
 
+// PollPark is the C-process poll-loop policy between unsuccessful sweeps of
+// the decision registers. On the lockstep sim backend it is semantically
+// inert — the scheduler paces every step, so schedules, traces and results
+// are identical under any policy — though a Sleep park still costs real
+// wall-clock there (the runtime waits for the sleeping process to re-park),
+// so sim-heavy loops like the explorer should stay on yield or spin. On the
+// native backend the policy separates algorithm latency from
+// spin-starvation latency: a spinning poller burns scheduler quanta that
+// the deciding S-processes need, which on small machines dominates the
+// measured decision latency.
+type PollPark struct {
+	// Yield cedes the processor (runtime.Gosched) after an unsuccessful
+	// sweep. This is the default scenario policy.
+	Yield bool
+	// Sleep parks the goroutine for this duration after an unsuccessful
+	// sweep; a non-zero Sleep takes precedence over Yield.
+	Sleep time.Duration
+}
+
+// Pause applies the policy once, between poll sweeps.
+func (p PollPark) Pause() {
+	switch {
+	case p.Sleep > 0:
+		time.Sleep(p.Sleep)
+	case p.Yield:
+		runtime.Gosched()
+	}
+}
+
+// String renders the policy as a -park flag value.
+func (p PollPark) String() string {
+	switch {
+	case p.Sleep > 0:
+		return p.Sleep.String()
+	case p.Yield:
+		return "yield"
+	default:
+		return "spin"
+	}
+}
+
+// ParsePark parses a -park flag value: "" or "yield" (the default policy),
+// "spin" (busy-wait, the pre-knob behavior), or a positive Go duration to
+// sleep between sweeps ("50µs", "1ms").
+func ParsePark(s string) (PollPark, error) {
+	switch s {
+	case "", "yield":
+		return PollPark{Yield: true}, nil
+	case "spin":
+		return PollPark{}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return PollPark{}, fmt.Errorf("park: want spin, yield or a positive duration, got %q", s)
+	}
+	return PollPark{Sleep: d}, nil
+}
+
 // DirectConfig configures the solver.
 type DirectConfig struct {
 	NC, NS int
@@ -25,6 +85,8 @@ type DirectConfig struct {
 	// failure-detector value. VectorLeader handles vector-Ωk; OmegaLeader
 	// adapts Ω for K = 1.
 	LeaderVec func(v sim.Value) []int
+	// Park is the C-process poll-loop policy (zero value = busy-spin).
+	Park PollPark
 }
 
 // VectorLeader interprets detector values as []int vectors (vector-Ωk).
@@ -47,16 +109,25 @@ func OmegaLeader(v sim.Value) []int {
 func consKey(j int) string { return fmt.Sprintf("cons/%d", j) }
 
 // DirectCBody returns the C-process body: publish the input, then poll the k
-// decision registers round-robin and decide the first decided value. The
-// body takes no synchronization steps at all — wait-freedom is structural.
+// decision registers — one batched collect per sweep — and decide the first
+// decided value. The body takes no synchronization steps at all —
+// wait-freedom is structural. Between unsuccessful sweeps the Park policy
+// applies (inert on sim; see PollPark).
 func (c DirectConfig) DirectCBody(i int) sim.Body {
 	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
-		for j := 0; ; j = (j + 1) % c.K {
-			if v, ok := paxos.PollDecision(e, consKey(j)); ok {
-				e.Decide(v)
-				return
+		decKeys := make([]string, c.K)
+		for j := range decKeys {
+			decKeys[j] = paxos.DecKey(consKey(j))
+		}
+		for {
+			for _, v := range e.ReadMany(decKeys) {
+				if d, ok := paxos.DecodeDecision(v); ok {
+					e.Decide(d)
+					return
+				}
 			}
+			c.Park.Pause()
 		}
 	}
 }
@@ -64,20 +135,36 @@ func (c DirectConfig) DirectCBody(i int) sim.Body {
 // DirectSBody returns the S-process body: repeatedly query the detector and
 // advance each consensus instance one operation, leading exactly the
 // instances whose vector position currently names this process. A proposal
-// is harvested from the input registers first.
+// is harvested from the input registers first, one batched collect of all
+// NC input registers per detector query.
+//
+// A sweep in which this process leads no undecided instance performs only
+// decision polls; the Park policy applies after such sweeps, exactly as in
+// the C-process poll loop. This is where the knob matters most on small
+// machines: a run keeps every S-process alive forever, and without the
+// pause the non-leaders spin through whole scheduler quanta while the
+// processes that still have work to do — the driving leader and the
+// undecided C-pollers — wait their turn.
 func (c DirectConfig) DirectSBody(me int) sim.Body {
 	return func(e sim.Ops) {
 		props := make([]*paxos.Proposer, c.K)
 		for j := range props {
 			props[j] = paxos.NewProposer(consKey(j), me, c.NS, nil)
 		}
-		scan := 0
+		inKeys := make([]string, c.NC)
+		for i := range inKeys {
+			inKeys[i] = InKey(i)
+		}
 		var proposal sim.Value
 		for {
 			lv := c.LeaderVec(e.QueryFD())
 			if proposal == nil {
-				proposal = e.Read(InKey(scan % c.NC))
-				scan++
+				for _, v := range e.ReadMany(inKeys) {
+					if v != nil {
+						proposal = v
+						break
+					}
+				}
 				if proposal != nil {
 					for _, p := range props {
 						p.SetProposal(proposal)
@@ -85,9 +172,19 @@ func (c DirectConfig) DirectSBody(me int) sim.Body {
 				}
 				continue
 			}
+			drove := false
 			for j := 0; j < c.K; j++ {
+				if _, done := props[j].Decided(); done {
+					continue
+				}
 				lead := j < len(lv) && lv[j] == me
 				props[j].StepOp(e, lead)
+				if lead {
+					drove = true
+				}
+			}
+			if !drove {
+				c.Park.Pause()
 			}
 		}
 	}

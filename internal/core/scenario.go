@@ -40,6 +40,10 @@ type Scenario struct {
 	Pattern   fdet.Pattern
 	Detector  fdet.Detector
 	Stabilize fdet.Time
+	// Registers estimates the distinct register keys one run touches,
+	// derived from the task's key shapes; it pre-sizes the native backend's
+	// sharded register table.
+	Registers int
 }
 
 // SimConfig builds the lockstep backend configuration for one seeded run.
@@ -59,9 +63,10 @@ func (s *Scenario) NativeConfig(seed int64, tick time.Duration) native.Config {
 	return native.Config{
 		NC: s.NC, NS: s.NS, Inputs: s.Inputs.Clone(),
 		CBody: s.CBody, SBody: s.SBody,
-		Pattern: s.Pattern,
-		History: s.Detector.History(s.Pattern, s.Stabilize, seed),
-		Tick:    tick,
+		Pattern:   s.Pattern,
+		History:   s.Detector.History(s.Pattern, s.Stabilize, seed),
+		Tick:      tick,
+		Registers: s.Registers,
 	}
 }
 
@@ -86,6 +91,10 @@ type ScenarioParams struct {
 	// Detector overrides the task's default advice detector; one of
 	// ScenarioDetectors compatible with the task.
 	Detector string
+	// Park is the direct solver's C-process poll-loop policy: "" or "yield"
+	// (default), "spin" (busy-wait), or a positive duration to sleep
+	// between sweeps. Tasks without a poll loop ignore it.
+	Park string
 	// Stabilize is the advice stabilization time in model ticks
 	// (default 100). Before it, detector output is seeded noise — dueling
 	// leaders, flapping vectors — which is exactly the regime stress runs
@@ -124,6 +133,17 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		crashAt[p.N-1-c] = p.CrashAt * fdet.Time(c+1)
 	}
 	pat := fdet.NewPattern(p.N, crashAt)
+	park, err := ParsePark(p.Park)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	// Only the direct solver has a poll loop; accepting -park for the other
+	// tasks would mislabel their reports (the scenario name keys trend
+	// baselines) while changing nothing.
+	parkUsed := p.Task == "consensus" || p.Task == "kset"
+	if p.Park != "" && !parkUsed {
+		return nil, fmt.Errorf("scenario: task %q has no poll loop, park=%q does not apply", p.Task, p.Park)
+	}
 
 	s := &Scenario{NC: p.N, NS: p.N, Pattern: pat, Stabilize: p.Stabilize}
 	intIn := func() vec.Vector {
@@ -154,7 +174,8 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		}
 		s.Task = task.NewConsensus(p.N)
 		s.Inputs = intIn()
-		dc := DirectConfig{NC: p.N, NS: p.N, K: 1, LeaderVec: OmegaLeader}
+		s.Registers = directRegisters(p.N, p.N, 1)
+		dc := DirectConfig{NC: p.N, NS: p.N, K: 1, LeaderVec: OmegaLeader, Park: park}
 		if d == "vector" {
 			s.Detector = fdet.VectorOmegaK{K: 1, GoodPos: 0}
 			dc.LeaderVec = VectorLeader
@@ -172,8 +193,9 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		}
 		s.Task = task.NewSetAgreement(p.N, p.K)
 		s.Inputs = intIn()
+		s.Registers = directRegisters(p.N, p.N, p.K)
 		s.Detector = fdet.VectorOmegaK{K: p.K, GoodPos: 0}
-		dc := DirectConfig{NC: p.N, NS: p.N, K: p.K, LeaderVec: VectorLeader}
+		dc := DirectConfig{NC: p.N, NS: p.N, K: p.K, LeaderVec: VectorLeader, Park: park}
 		s.CBody, s.SBody = dc.DirectCBody, dc.DirectSBody
 		s.Name = fmt.Sprintf("kset/n=%d/k=%d/vector", p.N, p.K)
 	case "renaming":
@@ -196,6 +218,7 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 			s.Inputs[i] = i + 1
 		}
 		s.Detector = fdet.VectorOmegaK{K: p.K, GoodPos: 0}
+		s.Registers = machineRegisters(p.N, p.N)
 		mc := MachineConfig{NC: p.N, NS: p.N, K: p.K,
 			Factory: func(i int, _ sim.Value) auto.Automaton { return wfree.NewRenaming(i) }}
 		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
@@ -211,6 +234,7 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		s.Task = tk
 		s.Inputs = intIn()
 		s.Detector = fdet.VectorOmegaK{K: 1, GoodPos: 0}
+		s.Registers = machineRegisters(p.N, p.N)
 		mc := MachineConfig{NC: p.N, NS: p.N, K: 1,
 			Factory: func(i int, input sim.Value) auto.Automaton { return wfree.NewProp1(tk, i, input) }}
 		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
@@ -221,6 +245,7 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		}
 		s.Task = task.NewSetAgreement(p.N, p.N)
 		s.Inputs = intIn()
+		s.Registers = 2 * p.N // in/i plus the V/q helper slots
 		s.Detector = fdet.Trivial{}
 		sh := SHelperConfig{NC: p.N, NS: p.N}
 		s.CBody, s.SBody = sh.SHelperCBody, sh.SHelperSBody
@@ -231,5 +256,31 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 	if p.Crash > 0 {
 		s.Name += fmt.Sprintf("/crash=%d", p.Crash)
 	}
+	if parkUsed && park != (PollPark{Yield: true}) {
+		s.Name += "/park=" + park.String()
+	}
 	return s, nil
+}
+
+// directRegisters estimates the key population of a direct-solver run from
+// its key shapes: nc input registers in/i, plus k consensus instances
+// cons/j/* of ns proposer blocks and one decision register each.
+func directRegisters(nc, ns, k int) int {
+	return nc + k*(ns+1)
+}
+
+// machineRegisters estimates the key population of a Theorem 9 machine run:
+// inputs and the ovec register, plus the minted consensus instances —
+// admission slots adm/t and one cell/a/s per simulated step, each an
+// (nc+ns)-block instance plus its decision register. Cell keys grow with
+// the simulated run, so this is a working-set estimate (a few steps per
+// code), capped so a mis-estimate can only waste a little map capacity.
+func machineRegisters(nc, ns int) int {
+	perInstance := nc + ns + 1
+	instances := nc /* admission slots */ + 4*nc /* ~4 steps per code */
+	est := nc + 1 + instances*perInstance
+	if est > 1<<15 {
+		est = 1 << 15
+	}
+	return est
 }

@@ -1090,10 +1090,19 @@ func expE16() Experiment {
 	grid := []core.ScenarioParams{
 		{Task: "consensus", N: 4},
 		{Task: "consensus", N: 4, Crash: 2, CrashAt: 40},
+		// Spin-starvation reference: the same system with busy-wait poll
+		// loops, so the table separates algorithm latency (park=yield rows)
+		// from spin-starvation latency (this row) on oversubscribed boxes.
+		{Task: "consensus", N: 4, Park: "spin"},
 		{Task: "kset", N: 5, K: 2},
 		{Task: "nset", N: 4, Stabilize: 1},
 		{Task: "renaming", N: 4, J: 3, K: 2},
 		{Task: "prop1", N: 3},
+		// Scale grid (ROADMAP): larger systems lean on the sharded store and
+		// batched collects — 2n goroutines per instance, n-key collects.
+		{Task: "consensus", N: 16},
+		{Task: "kset", N: 16, K: 4},
+		{Task: "consensus", N: 32},
 	}
 	return Experiment{
 		ID:       "E16",

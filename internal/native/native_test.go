@@ -2,6 +2,7 @@ package native_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -385,6 +386,66 @@ func TestStress(t *testing.T) {
 	}
 	if rep.Latency.Samples == 0 || rep.Latency.P50 <= 0 || rep.Latency.Max < rep.Latency.P99 {
 		t.Fatalf("implausible latency stats:\n%s", rep.Render())
+	}
+}
+
+// TestSoakSmoke is the short-duration leak check behind the ROADMAP's soak
+// profile: after back-to-back stress instances — each spawning 2n process
+// goroutines, an advice sampler and a register table — the goroutine count
+// and the live heap must return to baseline. A leaked S-process goroutine
+// or advice service would accumulate across the bursts and show up here
+// long before a 10-minute soak could.
+func TestSoakSmoke(t *testing.T) {
+	s := scenario(t, core.ScenarioParams{Task: "consensus", N: 4, Stabilize: 10})
+	burst := func(d time.Duration) {
+		rep, err := native.Stress(s.Name, s.Task, func(seed int64) (native.Config, error) {
+			return s.NativeConfig(seed, tick), nil
+		}, native.StressOptions{Duration: d, RunBudget: 5 * time.Second, Workers: 2, ProcsPerRun: 8, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("soak burst failed:\n%s", rep.Render())
+		}
+	}
+	bursts, dur := 3, 150*time.Millisecond
+	if testing.Short() {
+		bursts, dur = 2, 50*time.Millisecond
+	}
+	// Warm up once so lazily-started runtime machinery (GC workers, timer
+	// threads) is part of the baseline, then measure.
+	burst(dur)
+	runtime.GC()
+	baseGoroutines := runtime.NumGoroutine()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	for i := 0; i < bursts; i++ {
+		burst(dur)
+	}
+
+	// Goroutines: every instance goroutine and advice sampler must be gone.
+	// Retry briefly — exiting goroutines may still be winding down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d after soak, baseline %d", n, baseGoroutines)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Heap: the retained live set must return to the baseline ballpark; a
+	// leaked register table per instance would add MBs per burst. The slack
+	// is deliberately generous — this is a leak detector, not a memory
+	// benchmark.
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	const slack = 16 << 20
+	if after.HeapAlloc > base.HeapAlloc+slack {
+		t.Fatalf("heap grew from %d to %d bytes after soak (> %d slack): retained garbage",
+			base.HeapAlloc, after.HeapAlloc, slack)
 	}
 }
 

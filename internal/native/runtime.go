@@ -61,6 +61,12 @@ type Config struct {
 
 	// Tick is the wall-clock length of one fdet.Time unit (0 = DefaultTick).
 	Tick time.Duration
+
+	// Registers is an estimate of how many distinct register keys the run
+	// will touch, used to pre-size the sharded register table. Scenarios
+	// derive it from their known key shapes (in/i, cons/j/*, cell/a/s/*);
+	// zero means a small default and costs only map growth.
+	Registers int
 }
 
 // Reason reports why a native run ended.
@@ -123,38 +129,21 @@ var (
 type pad [64]byte
 
 // cell is one shared register: a single atomic pointer, padded on both
-// sides against false sharing with neighboring allocations.
+// sides against false sharing with neighboring allocations. The table
+// holding the cells is the sharded store in store.go; every Env caches the
+// cells it has touched, so a key costs one sharded lookup per (process,
+// register) pair and atomic loads/stores after that.
 type cell struct {
 	_ pad
 	v atomic.Pointer[sim.Value]
 	_ pad
 }
 
-// store is the register table: a mutex-guarded key→cell map. The mutex is
-// off the hot path — every Env caches the cells it has touched, so a key
-// costs one lookup per (process, register) pair and atomic loads/stores
-// after that.
-type store struct {
-	mu sync.Mutex
-	m  map[string]*cell
-}
-
-func (s *store) lookup(key string) *cell {
-	s.mu.Lock()
-	c := s.m[key]
-	if c == nil {
-		c = new(cell)
-		s.m[key] = c
-	}
-	s.mu.Unlock()
-	return c
-}
-
 // Runtime executes one configured system natively. A Runtime is single-use:
 // create, Run, inspect the Result.
 type Runtime struct {
 	cfg       Config
-	store     store
+	store     *store
 	clock     *clock
 	fd        *fdService
 	envs      []*Env
@@ -182,7 +171,7 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	r := &Runtime{
 		cfg:    cfg,
-		store:  store{m: make(map[string]*cell)},
+		store:  newStore(cfg.Registers),
 		clock:  &clock{tick: cfg.Tick},
 		doneCh: make(chan struct{}),
 	}
@@ -328,12 +317,22 @@ type Env struct {
 	crashable bool
 	// The fields below are goroutine-local; the runtime reads them only
 	// after wg.Wait(), which orders the accesses.
-	cache    map[string]*cell
-	ops      int64
-	decided  bool
-	decision sim.Value
-	decideAt time.Duration
-	crashed  bool
+	cache map[string]*cell
+	// lastKey/lastCell is a one-entry MRU in front of the cache map: poll
+	// loops hammer a single register, and a string equality check on the
+	// interned key is far cheaper than a map lookup.
+	lastKey  string
+	lastCell *cell
+	// batchKeys/batchCells memoize the resolved cells of the last ReadMany
+	// key slice, recognized by slice identity — collect loops reuse one
+	// precomputed key slice, so a collect costs zero lookups after the first.
+	batchKeys  []string
+	batchCells []*cell
+	ops        int64
+	decided    bool
+	decision   sim.Value
+	decideAt   time.Duration
+	crashed    bool
 }
 
 var _ sim.Ops = (*Env)(nil)
@@ -353,12 +352,31 @@ func (e *Env) step() {
 }
 
 func (e *Env) cell(key string) *cell {
-	if c := e.cache[key]; c != nil {
-		return c
+	if key == e.lastKey && e.lastCell != nil {
+		return e.lastCell
 	}
-	c := e.r.store.lookup(key)
-	e.cache[key] = c
+	c := e.cache[key]
+	if c == nil {
+		c = e.r.store.lookup(key)
+		e.cache[key] = c
+	}
+	e.lastKey, e.lastCell = key, c
 	return c
+}
+
+// batch resolves the cells of a ReadMany key slice, memoizing by slice
+// identity: callers that precompute their collect keys once (auto.RunOnEnv,
+// the direct solver's poll loop) pay the per-key resolution exactly once.
+func (e *Env) batch(keys []string) []*cell {
+	if len(keys) > 0 && len(e.batchKeys) == len(keys) && &keys[0] == &e.batchKeys[0] {
+		return e.batchCells
+	}
+	cells := make([]*cell, len(keys))
+	for i, k := range keys {
+		cells[i] = e.cell(k)
+	}
+	e.batchKeys, e.batchCells = keys, cells
+	return cells
 }
 
 // Proc returns this process's identity.
@@ -386,6 +404,25 @@ func (e *Env) Read(key string) sim.Value {
 		return *p
 	}
 	return nil
+}
+
+// ReadMany performs a batched collect: one operation prologue (stop/crash
+// check, counting len(keys) reads), then one atomic load per key. It is
+// still a regular collect — the loads are individual and unsynchronized, so
+// concurrent writes may land between them — but the per-operation overhead
+// of the old n-read loop (n prologues, n cache lookups) collapses to a
+// single prologue and, for a memoized key slice, zero lookups.
+func (e *Env) ReadMany(keys []string) []sim.Value {
+	e.ops += int64(len(keys)) - 1
+	e.step()
+	cells := e.batch(keys)
+	out := make([]sim.Value, len(cells))
+	for i, c := range cells {
+		if p := c.v.Load(); p != nil {
+			out[i] = *p
+		}
+	}
+	return out
 }
 
 // Write performs one atomic register write. Values must be treated as

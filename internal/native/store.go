@@ -1,0 +1,76 @@
+package native
+
+import "sync"
+
+// This file is the native register table: a sharded key→cell map. PR 3's
+// single mutex-guarded map was the backend's first scaling wall (ROADMAP
+// "sharded register tables"): every first touch of a key by any process
+// serialized on one lock, and key-heavy solvers — the Theorem 9 machine
+// mints a fresh cons instance per simulated step — hit it continuously.
+// Shards are selected by a key hash, each with its own mutex and map, so
+// concurrent instances and processes contend only when their keys collide
+// in a shard; per-Env cell caches still make the steady-state cost of a
+// register one atomic access with no lock at all.
+
+// storeShards is the shard count: a power of two so the hash folds with a
+// mask. 32 shards keep per-shard collision odds low for the scenario key
+// populations (tens to a few thousand keys) at negligible fixed cost.
+const storeShards = 32
+
+// shard is one slice of the table. The padding keeps each shard's mutex on
+// its own cache line so uncorrelated shards never false-share.
+type shard struct {
+	_  pad
+	mu sync.Mutex
+	m  map[string]*cell
+}
+
+// store is the sharded register table.
+type store struct {
+	shards [storeShards]shard
+}
+
+// newStore builds a table pre-sized for about hint registers spread across
+// the shards. The hint comes from the scenario's known key shapes (`in/i`,
+// `cons/j/*`, `cell/a/s/*` — see core.Scenario); it only sizes the maps, so
+// a low or zero hint costs map growth, never correctness.
+func newStore(hint int) *store {
+	per := hint / storeShards
+	if per < 4 {
+		per = 4
+	}
+	s := &store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*cell, per)
+	}
+	return s
+}
+
+// shardOf hashes key to its shard index (FNV-1a folded to the shard mask).
+func shardOf(key string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	// Fold the high bits in so the mask does not discard them.
+	return uint32(h^(h>>32)) & (storeShards - 1)
+}
+
+// lookup returns key's cell, allocating it on first touch. Only the key's
+// shard is locked.
+func (s *store) lookup(key string) *cell {
+	sh := &s.shards[shardOf(key)]
+	sh.mu.Lock()
+	c := sh.m[key]
+	if c == nil {
+		c = new(cell)
+		sh.m[key] = c
+	}
+	sh.mu.Unlock()
+	return c
+}

@@ -1,0 +1,156 @@
+package native
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wfadvice/internal/sim"
+)
+
+// realisticKeys generates the register-key population of the scenario zoo:
+// input registers in/i, direct-solver consensus instances cons/j/* (one
+// block per proposer plus the decision register), and Theorem 9 machine
+// cells cell/a/s/* with the same block shape.
+func realisticKeys(n, k, steps int) []string {
+	var keys []string
+	for i := 0; i < n; i++ {
+		keys = append(keys, fmt.Sprintf("in/%d", i))
+	}
+	keys = append(keys, "ovec")
+	for j := 0; j < k; j++ {
+		for p := 0; p < n; p++ {
+			keys = append(keys, fmt.Sprintf("cons/%d/blk/%d", j, p))
+		}
+		keys = append(keys, fmt.Sprintf("cons/%d/dec", j))
+	}
+	for a := 0; a < n; a++ {
+		for s := 0; s < steps; s++ {
+			for p := 0; p < 2*n; p++ {
+				keys = append(keys, fmt.Sprintf("cell/%d/%d/blk/%d", a, s, p))
+			}
+			keys = append(keys, fmt.Sprintf("cell/%d/%d/dec", a, s))
+		}
+	}
+	return keys
+}
+
+// TestStoreLookupStable: lookup must mint exactly one cell per key no
+// matter how many goroutines race on first touch — two processes reading
+// "the same register" through different cells would break atomicity.
+func TestStoreLookupStable(t *testing.T) {
+	st := newStore(0)
+	keys := realisticKeys(8, 4, 3)
+	const workers = 8
+	cells := make([]map[string]*cell, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := make(map[string]*cell, len(keys))
+			for _, k := range keys {
+				mine[k] = st.lookup(k)
+			}
+			cells[w] = mine
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for _, k := range keys {
+			if cells[w][k] != cells[0][k] {
+				t.Fatalf("worker %d resolved %q to a different cell", w, k)
+			}
+		}
+	}
+}
+
+// TestStoreConcurrentReadersWriters hammers the sharded table from parallel
+// writers and readers over an overlapping key set under -race: the shard
+// mutexes must serialize map access, and the cells must deliver only values
+// some writer actually stored.
+func TestStoreConcurrentReadersWriters(t *testing.T) {
+	st := newStore(256)
+	keys := realisticKeys(8, 2, 2)
+	const (
+		workers = 8
+		rounds  = 500
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := keys[(w*rounds+r)%len(keys)]
+				c := st.lookup(k)
+				if w%2 == 0 {
+					p := new(sim.Value)
+					*p = w*rounds + r
+					c.v.Store(p)
+				} else if p := c.v.Load(); p != nil {
+					if _, ok := (*p).(int); !ok {
+						errs <- fmt.Sprintf("read torn value %v from %q", *p, k)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestStoreShardDistribution checks the key hash spreads the real scenario
+// key shapes across shards: with a population much larger than the shard
+// count, every shard must be populated and none may hold a gross excess
+// over the mean (a degenerate hash would defeat the sharding entirely).
+func TestStoreShardDistribution(t *testing.T) {
+	keys := realisticKeys(16, 8, 4)
+	if len(keys) < 32*storeShards {
+		t.Fatalf("key population %d too small for a meaningful distribution check", len(keys))
+	}
+	var counts [storeShards]int
+	for _, k := range keys {
+		counts[shardOf(k)]++
+	}
+	mean := len(keys) / storeShards
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d empty over %d realistic keys", s, len(keys))
+		}
+		if c > 3*mean {
+			t.Errorf("shard %d holds %d keys, more than 3x the mean %d", s, c, mean)
+		}
+	}
+	// The hash must be a pure function of the key.
+	for _, k := range keys[:64] {
+		if shardOf(k) != shardOf(k) {
+			t.Fatalf("shardOf(%q) unstable", k)
+		}
+	}
+}
+
+// TestStorePresizeZeroAndLarge: the Registers hint only sizes maps — both a
+// zero hint and an overshooting hint must behave identically.
+func TestStorePresizeZeroAndLarge(t *testing.T) {
+	for _, hint := range []int{0, 1, 1 << 15} {
+		st := newStore(hint)
+		c := st.lookup("in/0")
+		p := new(sim.Value)
+		*p = 42
+		c.v.Store(p)
+		if got := st.lookup("in/0"); got != c {
+			t.Fatalf("hint %d: lookup not stable", hint)
+		}
+		if v := st.lookup("in/0").v.Load(); v == nil || (*v).(int) != 42 {
+			t.Fatalf("hint %d: stored value lost", hint)
+		}
+	}
+}

@@ -44,8 +44,15 @@ func DecKey(key string) string { return key + "/dec" }
 // PollDecision reads the decision register of an instance (one step) and
 // returns its value if the instance has decided.
 func PollDecision(e sim.Ops, key string) (Value, bool) {
-	if v, ok := e.Read(DecKey(key)).(decRec); ok {
-		return v.V, true
+	return DecodeDecision(e.Read(DecKey(key)))
+}
+
+// DecodeDecision interprets a raw value read from an instance's DecKey
+// register. Batched poll loops read many decision registers in one
+// sim.Ops.ReadMany and decode each slot with it.
+func DecodeDecision(v sim.Value) (Value, bool) {
+	if d, ok := v.(decRec); ok {
+		return d.V, true
 	}
 	return nil, false
 }

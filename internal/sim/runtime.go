@@ -96,6 +96,22 @@ type Ops interface {
 	HasDecided() bool
 	// Read performs one atomic register read.
 	Read(key string) Value
+	// ReadMany performs one atomic register read per key, in order, and
+	// returns the values observed. It is a regular collect, never an atomic
+	// snapshot: writes by other processes may land between the individual
+	// reads. On the sim backend it consumes exactly len(keys) scheduled
+	// steps and is step-for-step identical to a loop of Read calls, so
+	// traces, explorer state spaces and experiment results are unchanged by
+	// porting a collect loop onto it. On the native backend it is the
+	// batched-collect fast path: one operation prologue, then len(keys)
+	// atomic loads.
+	//
+	// The keys slice must not be mutated after it has been passed to
+	// ReadMany — backends may memoize per-slice state (the native backend
+	// caches the resolved cells by slice identity). Collect loops should
+	// build their key slice once and reuse it. The returned slice is owned
+	// by the caller.
+	ReadMany(keys []string) []Value
 	// Write performs one atomic register write.
 	Write(key string, v Value)
 	// QueryFD queries this S-process's failure-detector module.
@@ -492,6 +508,18 @@ func (e *Env) Read(key string) Value {
 	v := e.r.store[key]
 	e.r.record(e.p, OpRead, key, v)
 	return v
+}
+
+// ReadMany performs one atomic register read per key, in order. Each read
+// parks on the scheduler individually, so a collect of n keys consumes
+// exactly n steps and other processes' writes can interleave between them —
+// regular-collect semantics, identical to the equivalent Read loop.
+func (e *Env) ReadMany(keys []string) []Value {
+	out := make([]Value, len(keys))
+	for i, k := range keys {
+		out[i] = e.Read(k)
+	}
+	return out
 }
 
 // Write performs one atomic register write.

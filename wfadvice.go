@@ -199,6 +199,8 @@ var (
 type (
 	// DirectConfig is the direct vector-Ωk agreement solver.
 	DirectConfig = core.DirectConfig
+	// PollPark is the direct solver's C-process poll-loop policy.
+	PollPark = core.PollPark
 	// MachineConfig is the generic Theorem 9 solver (and Figure 2 lanes).
 	MachineConfig = core.MachineConfig
 	// SHelperConfig is the Proposition 2 construction.
@@ -221,6 +223,7 @@ type (
 var (
 	VectorLeader         = core.VectorLeader
 	OmegaLeader          = core.OmegaLeader
+	ParsePark            = core.ParsePark
 	ExtractWitness       = core.ExtractWitness
 	ExploreCorridors     = core.ExploreCorridors
 	CheckAntiOmegaStream = core.CheckAntiOmegaStream
