@@ -11,9 +11,18 @@
 //	efd-stress -task kset -n 5 -k 2 -crash 2 -duration 5s -json
 //	efd-stress -task renaming -n 5 -j 4 -k 2 -procs 8 -rate 100
 //	efd-stress -task consensus -n 16 -park spin -duration 2s
+//	efd-stress -task consensus -n 4 -pin -duration 2s
+//	efd-stress -task consensus -n 4 -duration 10m -snapshot 30s
+//
+// The last form is the native soak profile: periodic report snapshots
+// (cumulative runs/ops, interval throughput, goroutine and heap gauges) are
+// printed to stderr as the run progresses and embedded in the -json report;
+// after the run the snapshot series is audited for goroutine/heap growth
+// and a detected leak fails the command like a checker violation.
 //
 // Exit status: 0 on success, 1 if any instance failed the checker (a ∆
-// violation or an undecided C-process), 2 on bad flags.
+// violation or an undecided C-process) or the soak leak audit, 2 on bad
+// flags.
 package main
 
 import (
@@ -48,6 +57,8 @@ func main() {
 		rate      = flag.Float64("rate", 0, "throttle instance starts per second (0 = unthrottled)")
 		tick      = flag.Duration("tick", 0, "clock tick = one model time unit (0 = default 100µs)")
 		seed      = flag.Int64("seed", 1, "root seed for advice histories")
+		pin       = flag.Bool("pin", false, "lock every process goroutine to its own OS thread (kernel-scheduled instances)")
+		snapshot  = flag.Duration("snapshot", 0, "soak profile: emit a report snapshot every interval (0 = off); leak growth across snapshots fails the run")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON on stdout")
 	)
 	flag.Parse()
@@ -67,12 +78,19 @@ func main() {
 	rep, err := native.Stress(sc.Name, sc.Task, func(s int64) (native.Config, error) {
 		return sc.NativeConfig(s, *tick), nil
 	}, native.StressOptions{
-		Duration:    *duration,
-		RunBudget:   *runBudget,
-		Workers:     *workers,
-		ProcsPerRun: sc.NC + sc.NS,
-		Rate:        *rate,
-		Seed:        *seed,
+		Duration:      *duration,
+		RunBudget:     *runBudget,
+		Workers:       *workers,
+		ProcsPerRun:   sc.NC + sc.NS,
+		Rate:          *rate,
+		Seed:          *seed,
+		Pin:           *pin,
+		SnapshotEvery: *snapshot,
+		OnSnapshot: func(s native.SoakSnapshot) {
+			fmt.Fprintf(os.Stderr, "soak %8s  runs=%d ops=%d interval=%.0f ops/s goroutines=%d heap=%dMB\n",
+				s.Elapsed.Round(time.Second), s.Runs, s.Ops, s.IntervalOpsPerSec,
+				s.Goroutines, s.HeapAlloc>>20)
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efd-stress: %v\n", err)
@@ -88,7 +106,11 @@ func main() {
 	} else {
 		fmt.Print(rep.Render())
 	}
-	if rep.Failed() {
+	leakErr := rep.LeakCheck()
+	if leakErr != nil {
+		fmt.Fprintf(os.Stderr, "efd-stress: soak leak audit: %v\n", leakErr)
+	}
+	if rep.Failed() || leakErr != nil {
 		os.Exit(1)
 	}
 }

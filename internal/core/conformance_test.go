@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"wfadvice/internal/core"
+	"wfadvice/internal/fdet"
 	"wfadvice/internal/native"
 	"wfadvice/internal/sim"
+	"wfadvice/internal/vec"
 )
 
 // Cross-backend conformance: every core.Scenario body set runs on the
@@ -23,6 +25,16 @@ import (
 // outcome (e.g. either proposed value in consensus). What must be identical
 // is the verdict structure — decided-all plus ∆ — which is exactly the
 // paper's correctness obligation, checked per backend by the same task.
+
+// Since PR 5 every scenario body in the zoo runs its hot loops on bound
+// register handles (sim.Ops.Bind → sim.Regs): the direct solver's decision
+// sweeps and input harvest, every paxos instance, the Theorem 9 replica's
+// bookkeeping polls, the S-helper scans and auto.RunOnEnv collects. The
+// grid below therefore exercises the Bind/Regs path end to end on both
+// backends with matching verdicts; TestBindConformance additionally drives
+// the full Regs surface (typed and generic ops, mixed representations)
+// through a dedicated body whose decisions are deterministic and must be
+// identical across backends.
 
 // conformanceGrid covers every task in the scenario zoo, both detector
 // families with consuming algorithms, crash injection, and both poll-park
@@ -77,6 +89,85 @@ func TestBackendConformance(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestBindConformance runs one body set — exercising every Regs operation:
+// typed writes and reads, generic writes of small ints, large ints and
+// structs, and full-table collects into reused buffers — on both backends.
+// The bodies are write-then-poll with no races on distinct slots, so the
+// decisions are fully deterministic and must be byte-equal across backends,
+// a stronger check than the verdict agreement of the scenario grid.
+func TestBindConformance(t *testing.T) {
+	type mark struct{ From, Big int }
+	const n = 3
+	keys := make([]string, 2*n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("slot/%d", i)
+		keys[n+i] = fmt.Sprintf("mark/%d", i)
+	}
+	body := func(i int) sim.Body {
+		return func(e sim.Ops) {
+			r := e.Bind(keys)
+			r.WriteInt(i, 1<<40+i) // typed, beyond the small-int range
+			r.Write(n+i, mark{From: i, Big: 1<<45 + i})
+			buf := make([]sim.Value, r.Len())
+			for {
+				vs := r.ReadMany(buf)
+				sum, seen := 0, 0
+				for j := 0; j < n; j++ {
+					if x, ok := r.ReadInt(j); ok {
+						sum += x - 1<<40
+					}
+					if m, ok := vs[n+j].(mark); ok && m.From == j {
+						seen++
+					}
+				}
+				if seen == n {
+					e.Decide(sum)
+					return
+				}
+			}
+		}
+	}
+	run := func(backend string, decs map[int]sim.Value, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s backend: %v", backend, err)
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			want += i
+		}
+		for i := 0; i < n; i++ {
+			if decs[i] != want {
+				t.Fatalf("%s backend: p%d decided %v, want %d", backend, i+1, decs[i], want)
+			}
+		}
+	}
+	inputs := vec.New(n)
+	for i := range inputs {
+		inputs[i] = i + 1
+	}
+
+	srt, err := sim.New(sim.Config{
+		NC: n, Inputs: inputs.Clone(), CBody: body,
+		Pattern: fdet.FailureFree(0), MaxSteps: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres := srt.Run(&sim.StopWhenDecided{Inner: sim.NewRandom(7)})
+	run("sim", sres.Decisions, sim.DecidedAll(sres))
+
+	nrt, err := native.New(native.Config{
+		NC: n, Inputs: inputs.Clone(), CBody: body,
+		Pattern: fdet.FailureFree(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres := nrt.Run(30 * time.Second)
+	run("native", nres.Decisions, native.CheckDecided(nres))
 }
 
 // runSimBackend executes one seeded lockstep run and returns the decisions

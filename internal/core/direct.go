@@ -87,6 +87,45 @@ type DirectConfig struct {
 	LeaderVec func(v sim.Value) []int
 	// Park is the C-process poll-loop policy (zero value = busy-spin).
 	Park PollPark
+	// InKeys and DecKeys are precomputed key tables — the NC input registers
+	// and the K decision registers — that the bodies bind their poll loops
+	// to. core.Scenario emits them once per scenario so every instance and
+	// process shares one table; nil tables are computed per body, so
+	// directly-constructed configs keep working unchanged.
+	InKeys, DecKeys []string
+}
+
+// directInKeys returns the input-register key table (InKey(0..nc-1)).
+func directInKeys(nc int) []string {
+	keys := make([]string, nc)
+	for i := range keys {
+		keys[i] = InKey(i)
+	}
+	return keys
+}
+
+// directDecKeys returns the decision-register key table of the solver's k
+// consensus instances.
+func directDecKeys(k int) []string {
+	keys := make([]string, k)
+	for j := range keys {
+		keys[j] = paxos.DecKey(consKey(j))
+	}
+	return keys
+}
+
+func (c DirectConfig) inKeys() []string {
+	if c.InKeys != nil {
+		return c.InKeys
+	}
+	return directInKeys(c.NC)
+}
+
+func (c DirectConfig) decKeys() []string {
+	if c.DecKeys != nil {
+		return c.DecKeys
+	}
+	return directDecKeys(c.K)
 }
 
 // VectorLeader interprets detector values as []int vectors (vector-Ωk).
@@ -109,19 +148,18 @@ func OmegaLeader(v sim.Value) []int {
 func consKey(j int) string { return fmt.Sprintf("cons/%d", j) }
 
 // DirectCBody returns the C-process body: publish the input, then poll the k
-// decision registers — one batched collect per sweep — and decide the first
-// decided value. The body takes no synchronization steps at all —
-// wait-freedom is structural. Between unsuccessful sweeps the Park policy
-// applies (inert on sim; see PollPark).
+// decision registers — one batched collect per sweep over a handle bound
+// once, with a reused collect buffer, so a sweep performs no allocation and
+// no key resolution at all on the native backend. The body takes no
+// synchronization steps — wait-freedom is structural. Between unsuccessful
+// sweeps the Park policy applies (inert on sim; see PollPark).
 func (c DirectConfig) DirectCBody(i int) sim.Body {
 	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
-		decKeys := make([]string, c.K)
-		for j := range decKeys {
-			decKeys[j] = paxos.DecKey(consKey(j))
-		}
+		dec := e.Bind(c.decKeys())
+		buf := make([]sim.Value, dec.Len())
 		for {
-			for _, v := range e.ReadMany(decKeys) {
+			for _, v := range dec.ReadMany(buf) {
 				if d, ok := paxos.DecodeDecision(v); ok {
 					e.Decide(d)
 					return
@@ -149,17 +187,15 @@ func (c DirectConfig) DirectSBody(me int) sim.Body {
 	return func(e sim.Ops) {
 		props := make([]*paxos.Proposer, c.K)
 		for j := range props {
-			props[j] = paxos.NewProposer(consKey(j), me, c.NS, nil)
+			props[j] = paxos.NewProposer(e, consKey(j), me, c.NS, nil)
 		}
-		inKeys := make([]string, c.NC)
-		for i := range inKeys {
-			inKeys[i] = InKey(i)
-		}
+		ins := e.Bind(c.inKeys())
+		buf := make([]sim.Value, ins.Len())
 		var proposal sim.Value
 		for {
 			lv := c.LeaderVec(e.QueryFD())
 			if proposal == nil {
-				for _, v := range e.ReadMany(inKeys) {
+				for _, v := range ins.ReadMany(buf) {
 					if v != nil {
 						proposal = v
 						break
@@ -178,7 +214,7 @@ func (c DirectConfig) DirectSBody(me int) sim.Body {
 					continue
 				}
 				lead := j < len(lv) && lv[j] == me
-				props[j].StepOp(e, lead)
+				props[j].StepOp(lead)
 				if lead {
 					drove = true
 				}

@@ -52,6 +52,30 @@ type MachineConfig struct {
 	// Lanes selects Figure 2 / Theorem 14 mode: exactly K pre-admitted codes
 	// with static positions and no admission gate.
 	Lanes bool
+	// PollKeys is the precomputed bookkeeping key table — the NC input
+	// registers followed by the ovec register — that every replica binds its
+	// pollOnce reads (and the S-process ovec writes) to. core.Scenario emits
+	// it once per scenario; nil is computed per replica, so directly
+	// constructed configs keep working unchanged.
+	PollKeys []string
+}
+
+// machinePollKeys builds the replica bookkeeping key table: slot i < nc is
+// InKey(i), slot nc is the ovec register.
+func machinePollKeys(nc int) []string {
+	keys := make([]string, nc+1)
+	for i := 0; i < nc; i++ {
+		keys[i] = InKey(i)
+	}
+	keys[nc] = "ovec"
+	return keys
+}
+
+func (c MachineConfig) pollKeys() []string {
+	if c.PollKeys != nil {
+		return c.PollKeys
+	}
+	return machinePollKeys(c.NC)
 }
 
 // WriteAt is a versioned simulated-register value carried inside decided
@@ -100,7 +124,11 @@ type codeState struct {
 type replica struct {
 	cfg MachineConfig
 	e   sim.Ops
-	me  int // proposer index: C i → i, S q → NC+q
+	// regs is the bound bookkeeping table (input slots 0..NC-1, ovec slot
+	// NC): every pollOnce read and ovec write goes through it, so the
+	// replica's polling loop resolves no keys after construction.
+	regs sim.Regs
+	me   int // proposer index: C i → i, S q → NC+q
 
 	inputs   []sim.Value
 	inCursor int
@@ -125,6 +153,7 @@ func newReplica(cfg MachineConfig, e sim.Ops, me int) *replica {
 	r := &replica{
 		cfg:         cfg,
 		e:           e,
+		regs:        e.Bind(cfg.pollKeys()),
 		me:          me,
 		inputs:      make([]sim.Value, cfg.NC),
 		admitted:    make(map[int]bool),
@@ -180,9 +209,10 @@ func (r *replica) leaderIs(base int, p *paxos.Proposer) bool {
 // pollOnce performs one bookkeeping read: an unknown input register or the
 // advice vector, in rotation.
 func (r *replica) pollOnce() {
+	ovecSlot := r.cfg.NC
 	r.pollTick++
 	if r.pollTick%2 == 0 && r.me < r.cfg.NC { // S-processes learn ovec from their own detector
-		if xs, ok := r.e.Read("ovec").([]int); ok {
+		if xs, ok := r.regs.Read(ovecSlot).([]int); ok {
 			r.ovec = xs
 		}
 		return
@@ -193,17 +223,17 @@ func (r *replica) pollOnce() {
 			continue
 		}
 		r.inCursor = (b + 1) % r.cfg.NC
-		if v := r.e.Read(InKey(b)); v != nil {
+		if v := r.regs.Read(b); v != nil {
 			r.inputs[b] = v
 		}
 		return
 	}
 	if r.me < r.cfg.NC {
-		if xs, ok := r.e.Read("ovec").([]int); ok {
+		if xs, ok := r.regs.Read(ovecSlot).([]int); ok {
 			r.ovec = xs
 		}
 	} else {
-		r.e.Read("ovec") // keep step pacing uniform
+		r.regs.Read(ovecSlot) // keep step pacing uniform
 	}
 }
 
@@ -295,14 +325,14 @@ func (r *replica) driveAll() {
 	}
 	slot := len(r.admCmds)
 	if r.admProp == nil {
-		r.admProp = paxos.NewProposer(admKey(slot), r.me, r.cfg.pn(), nil)
+		r.admProp = paxos.NewProposer(r.e, admKey(slot), r.me, r.cfg.pn(), nil)
 	}
 	if !r.admProp.HasProposal() {
 		if cmd, ok := r.admissionProposal(); ok {
 			r.admProp.SetProposal(cmd)
 		}
 	}
-	if v, ok := r.admProp.StepOp(r.e, r.leaderIs(slot, r.admProp)); ok {
+	if v, ok := r.admProp.StepOp(r.leaderIs(slot, r.admProp)); ok {
 		cmd := v.(AdmitCmd)
 		r.admCmds = append(r.admCmds, cmd)
 		r.admitted[cmd.Code] = true
@@ -337,14 +367,14 @@ func (r *replica) driveCells(codes []int) {
 		cid := cellID{a: a, s: cs.applied}
 		p := r.cellProps[cid]
 		if p == nil {
-			p = paxos.NewProposer(cellKey(a, cs.applied), r.me, r.cfg.pn(), r.viewProposal())
+			p = paxos.NewProposer(r.e, cellKey(a, cs.applied), r.me, r.cfg.pn(), r.viewProposal())
 			r.cellProps[cid] = p
 		}
 		base := a // lanes mode: Figure 2's static code→position keying
 		if !r.cfg.Lanes {
 			base = a + cs.applied // solver mode: spread cells over positions
 		}
-		if v, ok := p.StepOp(r.e, r.leaderIs(base, p)); ok {
+		if v, ok := p.StepOp(r.leaderIs(base, p)); ok {
 			delete(r.cellProps, cid)
 			r.applyCell(a, v.(ViewCmd))
 		}
@@ -380,7 +410,7 @@ func (c MachineConfig) SolverSBody(q int) sim.Body {
 				cp := make([]int, len(xs))
 				copy(cp, xs)
 				r.ovec = cp
-				e.Write("ovec", cp)
+				r.regs.Write(c.NC, cp)
 			}
 			r.pollOnce()
 			r.driveAll()

@@ -175,7 +175,8 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		s.Task = task.NewConsensus(p.N)
 		s.Inputs = intIn()
 		s.Registers = directRegisters(p.N, p.N, 1)
-		dc := DirectConfig{NC: p.N, NS: p.N, K: 1, LeaderVec: OmegaLeader, Park: park}
+		dc := DirectConfig{NC: p.N, NS: p.N, K: 1, LeaderVec: OmegaLeader, Park: park,
+			InKeys: directInKeys(p.N), DecKeys: directDecKeys(1)}
 		if d == "vector" {
 			s.Detector = fdet.VectorOmegaK{K: 1, GoodPos: 0}
 			dc.LeaderVec = VectorLeader
@@ -195,7 +196,8 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		s.Inputs = intIn()
 		s.Registers = directRegisters(p.N, p.N, p.K)
 		s.Detector = fdet.VectorOmegaK{K: p.K, GoodPos: 0}
-		dc := DirectConfig{NC: p.N, NS: p.N, K: p.K, LeaderVec: VectorLeader, Park: park}
+		dc := DirectConfig{NC: p.N, NS: p.N, K: p.K, LeaderVec: VectorLeader, Park: park,
+			InKeys: directInKeys(p.N), DecKeys: directDecKeys(p.K)}
 		s.CBody, s.SBody = dc.DirectCBody, dc.DirectSBody
 		s.Name = fmt.Sprintf("kset/n=%d/k=%d/vector", p.N, p.K)
 	case "renaming":
@@ -219,7 +221,7 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		}
 		s.Detector = fdet.VectorOmegaK{K: p.K, GoodPos: 0}
 		s.Registers = machineRegisters(p.N, p.N)
-		mc := MachineConfig{NC: p.N, NS: p.N, K: p.K,
+		mc := MachineConfig{NC: p.N, NS: p.N, K: p.K, PollKeys: machinePollKeys(p.N),
 			Factory: func(i int, _ sim.Value) auto.Automaton { return wfree.NewRenaming(i) }}
 		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
 		s.Name = fmt.Sprintf("renaming/n=%d/j=%d/k=%d/vector", p.N, p.J, p.K)
@@ -235,7 +237,7 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		s.Inputs = intIn()
 		s.Detector = fdet.VectorOmegaK{K: 1, GoodPos: 0}
 		s.Registers = machineRegisters(p.N, p.N)
-		mc := MachineConfig{NC: p.N, NS: p.N, K: 1,
+		mc := MachineConfig{NC: p.N, NS: p.N, K: 1, PollKeys: machinePollKeys(p.N),
 			Factory: func(i int, input sim.Value) auto.Automaton { return wfree.NewProp1(tk, i, input) }}
 		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
 		s.Name = fmt.Sprintf("prop1/n=%d/vector", p.N)
@@ -247,7 +249,8 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		s.Inputs = intIn()
 		s.Registers = 2 * p.N // in/i plus the V/q helper slots
 		s.Detector = fdet.Trivial{}
-		sh := SHelperConfig{NC: p.N, NS: p.N}
+		sh := SHelperConfig{NC: p.N, NS: p.N,
+			InKeys: directInKeys(p.N), VKeys: shelperVKeys(p.N)}
 		s.CBody, s.SBody = sh.SHelperCBody, sh.SHelperSBody
 		s.Name = fmt.Sprintf("nset/n=%d/trivial", p.N)
 	default:

@@ -18,17 +18,19 @@ const faKey = "fa" // register holding the latest FirstAlive output
 
 // SeparationCBody is the C-process body of the classical algorithm: publish
 // the input, read the detector relay, and adopt the input of the process the
-// detector points at.
+// detector points at. The poll loop runs on a handle binding the relay
+// register (slot 0) and the input registers (slot 1+j).
 func SeparationCBody(i int) sim.Body {
 	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
+		keys := append([]string{faKey}, directInKeys(e.NC())...)
+		regs := e.Bind(keys)
 		for {
-			d := e.Read(faKey)
-			target, ok := d.(int)
+			target, ok := regs.ReadInt(0)
 			if !ok {
 				continue
 			}
-			if v := e.Read(InKey(target)); v != nil {
+			if v := regs.Read(1 + target); v != nil {
 				e.Decide(v)
 				return
 			}

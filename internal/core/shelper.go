@@ -34,14 +34,43 @@ func InKey(i int) string { return fmt.Sprintf("in/%d", i) }
 // first copied value it finds.
 type SHelperConfig struct {
 	NC, NS int
+	// InKeys and VKeys are precomputed key tables (the NC input registers
+	// and the NS helper slots V/q) that the poll loops bind to; nil tables
+	// are computed per body, so directly-constructed configs keep working.
+	InKeys, VKeys []string
 }
 
-// SHelperCBody returns the C-process body.
+// shelperVKeys returns the helper-slot key table V/0..V/ns-1.
+func shelperVKeys(ns int) []string {
+	keys := make([]string, ns)
+	for q := range keys {
+		keys[q] = fmt.Sprintf("V/%d", q)
+	}
+	return keys
+}
+
+func (c SHelperConfig) inKeys() []string {
+	if c.InKeys != nil {
+		return c.InKeys
+	}
+	return directInKeys(c.NC)
+}
+
+func (c SHelperConfig) vKeys() []string {
+	if c.VKeys != nil {
+		return c.VKeys
+	}
+	return shelperVKeys(c.NS)
+}
+
+// SHelperCBody returns the C-process body: publish the input, then poll the
+// helper slots round-robin on a handle bound once.
 func (c SHelperConfig) SHelperCBody(i int) sim.Body {
 	return func(e sim.Ops) {
 		e.Write(InKey(i), e.Input())
+		vs := e.Bind(c.vKeys())
 		for j := 0; ; j = (j + 1) % c.NS {
-			if v := e.Read(fmt.Sprintf("V/%d", j)); v != nil {
+			if v := vs.Read(j); v != nil {
 				e.Decide(v)
 				return
 			}
@@ -49,13 +78,16 @@ func (c SHelperConfig) SHelperCBody(i int) sim.Body {
 	}
 }
 
-// SHelperSBody returns the S-process body: wait until at least one C-process
-// writes its input, then publish that value.
+// SHelperSBody returns the S-process body: poll the input registers on a
+// bound handle until at least one C-process writes its input, then publish
+// that value in this helper's slot.
 func (c SHelperConfig) SHelperSBody(q int) sim.Body {
+	vKey := c.vKeys()[q]
 	return func(e sim.Ops) {
+		ins := e.Bind(c.inKeys())
 		for i := 0; ; i = (i + 1) % c.NC {
-			if v := e.Read(InKey(i)); v != nil {
-				e.Write(fmt.Sprintf("V/%d", q), v)
+			if v := ins.Read(i); v != nil {
+				e.Write(vKey, v)
 				return
 			}
 		}

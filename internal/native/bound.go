@@ -1,0 +1,88 @@
+package native
+
+import "wfadvice/internal/sim"
+
+// This file is the native implementation of sim.Regs, the bound-register
+// handle behind the backend's allocation-free hot path. Ops.Bind resolves a
+// body's key table to cell pointers exactly once; after that every bound
+// operation is the operation prologue (step counting, stop/crash check)
+// plus a direct atomic access on the resolved cell — no string hashing, no
+// shard lock, no map lookup, and, for integer values and reused collect
+// buffers, no allocation (asserted by TestReadWriteAllocs with
+// testing.AllocsPerRun). Poll loops — the direct solver's decision sweeps,
+// the S-process input harvest, auto.RunOnEnv collects, every paxos
+// instance — run on bound handles, which is what made the one-entry MRU
+// cell cache of PR 4 dead weight (see Env.cell).
+
+// boundRegs is the native sim.Regs: a resolved cell pointer per slot.
+type boundRegs struct {
+	e     *Env
+	keys  []string
+	cells []*cell
+}
+
+var _ sim.Regs = (*boundRegs)(nil)
+
+// Bind implements sim.Ops: it resolves every key to its register cell —
+// through the per-Env cache, so rebinding an already-touched key is a map
+// hit, not a sharded-table lookup — and returns the bound handle. Bind is
+// the setup step: it allocates the handle and runs once per body (or per
+// minted consensus instance); the operations on the result do not allocate.
+func (e *Env) Bind(keys []string) sim.Regs {
+	cells := make([]*cell, len(keys))
+	for i, k := range keys {
+		cells[i] = e.cell(k)
+	}
+	return &boundRegs{e: e, keys: keys, cells: cells}
+}
+
+// Len returns the number of bound slots.
+func (b *boundRegs) Len() int { return len(b.keys) }
+
+// Key returns the register key bound to slot i.
+func (b *boundRegs) Key(i int) string { return b.keys[i] }
+
+// Read performs one atomic read of slot i: prologue plus one cell load.
+func (b *boundRegs) Read(i int) sim.Value {
+	b.e.step()
+	return b.cells[i].load()
+}
+
+// ReadInt performs one atomic read of slot i, unboxed: packed int values
+// come back without touching the heap regardless of magnitude.
+func (b *boundRegs) ReadInt(i int) (int, bool) {
+	b.e.step()
+	return b.cells[i].loadInt()
+}
+
+// Write performs one atomic write of slot i: prologue plus one cell store
+// (packed and allocation-free for fitting ints, boxed otherwise).
+func (b *boundRegs) Write(i int, v sim.Value) {
+	b.e.step()
+	b.cells[i].store(v)
+}
+
+// WriteInt performs one atomic write of slot i, unboxed and allocation-free
+// for every int that fits 63 bits.
+func (b *boundRegs) WriteInt(i int, x int) {
+	b.e.step()
+	b.cells[i].storeInt(x)
+}
+
+// ReadMany performs a batched collect over every bound slot: one operation
+// prologue (counting Len reads, exactly as the sim backend consumes Len
+// steps), then one atomic load per cell into dst. With a reused dst the
+// collect allocates nothing. It is a regular collect, never a snapshot:
+// concurrent writes may land between the individual loads.
+func (b *boundRegs) ReadMany(dst []sim.Value) []sim.Value {
+	b.e.ops += int64(len(b.cells)) - 1
+	b.e.step()
+	if len(dst) < len(b.cells) {
+		dst = make([]sim.Value, len(b.cells))
+	}
+	dst = dst[:len(b.cells)]
+	for i, c := range b.cells {
+		dst[i] = c.load()
+	}
+	return dst
+}

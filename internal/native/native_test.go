@@ -398,14 +398,30 @@ func TestStress(t *testing.T) {
 func TestSoakSmoke(t *testing.T) {
 	s := scenario(t, core.ScenarioParams{Task: "consensus", N: 4, Stabilize: 10})
 	burst := func(d time.Duration) {
+		// Snapshot at a quarter of the burst so every burst exercises the
+		// soak profile: the monitor goroutine, the snapshot series and the
+		// post-hoc leak audit — the same machinery `efd-stress -duration
+		// 10m -snapshot 30s` runs for real soaks.
 		rep, err := native.Stress(s.Name, s.Task, func(seed int64) (native.Config, error) {
 			return s.NativeConfig(seed, tick), nil
-		}, native.StressOptions{Duration: d, RunBudget: 5 * time.Second, Workers: 2, ProcsPerRun: 8, Seed: 1})
+		}, native.StressOptions{Duration: d, RunBudget: 5 * time.Second, Workers: 2, ProcsPerRun: 8, Seed: 1,
+			SnapshotEvery: d / 4})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if rep.Failed() {
 			t.Fatalf("soak burst failed:\n%s", rep.Render())
+		}
+		if len(rep.Snapshots) == 0 {
+			t.Fatal("soak burst collected no snapshots")
+		}
+		for _, snap := range rep.Snapshots {
+			if snap.Goroutines <= 0 || snap.HeapAlloc == 0 {
+				t.Fatalf("implausible soak snapshot: %+v", snap)
+			}
+		}
+		if err := rep.LeakCheck(); err != nil {
+			t.Fatalf("leak audit over %d snapshots: %v", len(rep.Snapshots), err)
 		}
 	}
 	bursts, dur := 3, 150*time.Millisecond
@@ -446,6 +462,31 @@ func TestSoakSmoke(t *testing.T) {
 	if after.HeapAlloc > base.HeapAlloc+slack {
 		t.Fatalf("heap grew from %d to %d bytes after soak (> %d slack): retained garbage",
 			base.HeapAlloc, after.HeapAlloc, slack)
+	}
+}
+
+// TestStressPinned runs a short burst with OS-thread pinning: every
+// instance goroutine is kernel-scheduled on its own thread, and the checker
+// verdicts must be exactly as clean as unpinned (pinning is a scheduling
+// knob, never a semantics change). The run also covers thread handback —
+// back-to-back pinned instances must not accumulate OS threads.
+func TestStressPinned(t *testing.T) {
+	s := scenario(t, core.ScenarioParams{Task: "consensus", N: 4, Stabilize: 10})
+	dur := 150 * time.Millisecond
+	if testing.Short() {
+		dur = 50 * time.Millisecond
+	}
+	rep, err := native.Stress(s.Name, s.Task, func(seed int64) (native.Config, error) {
+		return s.NativeConfig(seed, tick), nil
+	}, native.StressOptions{Duration: dur, RunBudget: 5 * time.Second, Workers: 2, ProcsPerRun: 8, Seed: 1, Pin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("pinned stress failed:\n%s", rep.Render())
+	}
+	if rep.Runs == 0 || rep.Decisions == 0 {
+		t.Fatalf("empty pinned stress report:\n%s", rep.Render())
 	}
 }
 

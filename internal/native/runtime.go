@@ -18,6 +18,7 @@ package native
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,16 @@ type Config struct {
 	// derive it from their known key shapes (in/i, cons/j/*, cell/a/s/*);
 	// zero means a small default and costs only map growth.
 	Registers int
+
+	// Pin locks every process goroutine to its own OS thread
+	// (runtime.LockOSThread) for the duration of the run. With pinning the
+	// kernel scheduler, not the Go scheduler, arbitrates between the
+	// processes of concurrent instances, so a deciding S-process is never
+	// migrated or descheduled by a spin-polling sibling inside the same
+	// GOMAXPROCS slot — the ROADMAP's NUMA/core-pinning knob. Costs one OS
+	// thread per process goroutine; size worker pools accordingly (the
+	// stress harness packs instances GOMAXPROCS-aware, see StressOptions).
+	Pin bool
 }
 
 // Reason reports why a native run ended.
@@ -127,17 +138,6 @@ var (
 // cacheLine padding keeps each hot atomic on its own line so unrelated
 // registers (and advice cells) never false-share.
 type pad [64]byte
-
-// cell is one shared register: a single atomic pointer, padded on both
-// sides against false sharing with neighboring allocations. The table
-// holding the cells is the sharded store in store.go; every Env caches the
-// cells it has touched, so a key costs one sharded lookup per (process,
-// register) pair and atomic loads/stores after that.
-type cell struct {
-	_ pad
-	v atomic.Pointer[sim.Value]
-	_ pad
-}
 
 // Runtime executes one configured system natively. A Runtime is single-use:
 // create, Run, inspect the Result.
@@ -242,6 +242,14 @@ func (r *Runtime) Run(budget time.Duration) *Result {
 					panic(x)
 				}
 			}()
+			if r.cfg.Pin {
+				// Dedicate an OS thread to this process for the whole run;
+				// the unlock on return hands the thread back to the
+				// scheduler instead of destroying it, so back-to-back
+				// pinned instances reuse threads rather than churn them.
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			e.body(e)
 		}()
 	}
@@ -317,22 +325,12 @@ type Env struct {
 	crashable bool
 	// The fields below are goroutine-local; the runtime reads them only
 	// after wg.Wait(), which orders the accesses.
-	cache map[string]*cell
-	// lastKey/lastCell is a one-entry MRU in front of the cache map: poll
-	// loops hammer a single register, and a string equality check on the
-	// interned key is far cheaper than a map lookup.
-	lastKey  string
-	lastCell *cell
-	// batchKeys/batchCells memoize the resolved cells of the last ReadMany
-	// key slice, recognized by slice identity — collect loops reuse one
-	// precomputed key slice, so a collect costs zero lookups after the first.
-	batchKeys  []string
-	batchCells []*cell
-	ops        int64
-	decided    bool
-	decision   sim.Value
-	decideAt   time.Duration
-	crashed    bool
+	cache    map[string]*cell
+	ops      int64
+	decided  bool
+	decision sim.Value
+	decideAt time.Duration
+	crashed  bool
 }
 
 var _ sim.Ops = (*Env)(nil)
@@ -351,32 +349,21 @@ func (e *Env) step() {
 	}
 }
 
+// cell resolves key through the per-Env cache (the sharded table only on
+// first touch). Bound handles (Bind) resolve through here once and then
+// never again; the keyed Read/Write path pays one map hit per op. The
+// one-entry MRU that used to sit in front of the map is gone: with every
+// poll loop in the repo running on bound handles the MRU no longer had hot
+// traffic to serve — it bought ~18% on a keyed-path microbenchmark
+// (63→77ns when removed) but nothing end to end, and the bound path never
+// touches it (see DESIGN.md, hot path).
 func (e *Env) cell(key string) *cell {
-	if key == e.lastKey && e.lastCell != nil {
-		return e.lastCell
-	}
 	c := e.cache[key]
 	if c == nil {
 		c = e.r.store.lookup(key)
 		e.cache[key] = c
 	}
-	e.lastKey, e.lastCell = key, c
 	return c
-}
-
-// batch resolves the cells of a ReadMany key slice, memoizing by slice
-// identity: callers that precompute their collect keys once (auto.RunOnEnv,
-// the direct solver's poll loop) pay the per-key resolution exactly once.
-func (e *Env) batch(keys []string) []*cell {
-	if len(keys) > 0 && len(e.batchKeys) == len(keys) && &keys[0] == &e.batchKeys[0] {
-		return e.batchCells
-	}
-	cells := make([]*cell, len(keys))
-	for i, k := range keys {
-		cells[i] = e.cell(k)
-	}
-	e.batchKeys, e.batchCells = keys, cells
-	return cells
 }
 
 // Proc returns this process's identity.
@@ -400,39 +387,34 @@ func (e *Env) HasDecided() bool { return e.decided }
 // Read performs one atomic register read.
 func (e *Env) Read(key string) sim.Value {
 	e.step()
-	if p := e.cell(key).v.Load(); p != nil {
-		return *p
-	}
-	return nil
+	return e.cell(key).load()
 }
 
 // ReadMany performs a batched collect: one operation prologue (stop/crash
-// check, counting len(keys) reads), then one atomic load per key. It is
-// still a regular collect — the loads are individual and unsynchronized, so
-// concurrent writes may land between them — but the per-operation overhead
-// of the old n-read loop (n prologues, n cache lookups) collapses to a
-// single prologue and, for a memoized key slice, zero lookups.
+// check, counting len(keys) reads), then one cache-map resolution plus one
+// atomic load per key. It is still a regular collect — the loads are
+// individual and unsynchronized, so concurrent writes may land between
+// them. Hot collect loops run on bound handles instead (Regs.ReadMany:
+// resolved cells, reused buffer, no per-call work); this keyed form remains
+// for one-off collects, so the slice-identity cell memo it used to carry
+// went the way of the keyed MRU — dead weight once no hot loop ran keyed.
 func (e *Env) ReadMany(keys []string) []sim.Value {
 	e.ops += int64(len(keys)) - 1
 	e.step()
-	cells := e.batch(keys)
-	out := make([]sim.Value, len(cells))
-	for i, c := range cells {
-		if p := c.v.Load(); p != nil {
-			out[i] = *p
-		}
+	out := make([]sim.Value, len(keys))
+	for i, k := range keys {
+		out[i] = e.cell(k).load()
 	}
 	return out
 }
 
 // Write performs one atomic register write. Values must be treated as
 // immutable once written, as on the sim backend — here the race detector
-// enforces it.
+// enforces it. Ints that fit 63 bits are stored unboxed (see cell.store);
+// everything else is boxed exactly as before.
 func (e *Env) Write(key string, v sim.Value) {
 	e.step()
-	p := new(sim.Value)
-	*p = v
-	e.cell(key).v.Store(p)
+	e.cell(key).store(v)
 }
 
 // QueryFD returns this S-process's current advice from the live

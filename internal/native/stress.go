@@ -40,8 +40,33 @@ type StressOptions struct {
 	Rate float64
 	// Seed is the root seed; instance r derives seed Seed*1_000_003 + r.
 	Seed int64
+	// Pin locks every process goroutine of every instance to its own OS
+	// thread (native.Config.Pin): the kernel scheduler arbitrates between
+	// the processes instead of the Go scheduler, so spin-heavy siblings
+	// cannot monopolize a GOMAXPROCS slot against a deciding leader — the
+	// ROADMAP NUMA/core-pinning knob, `-pin` on efd-stress. Combine with
+	// the GOMAXPROCS-aware default worker packing: with Pin set, the
+	// default pool never runs more pinned threads than ~GOMAXPROCS rounded
+	// up to one whole instance.
+	Pin bool
+	// SnapshotEvery enables the soak profile: every such interval the
+	// harness appends a SoakSnapshot — cumulative runs/ops, interval
+	// ops/sec, live goroutine count and heap stats — to the report, and
+	// calls OnSnapshot if set. Long-duration runs (`-duration 10m
+	// -snapshot 30s`) use the series to spot slow goroutine or heap leaks
+	// that a 2s smoke cannot (StressReport.LeakCheck audits it post hoc).
+	SnapshotEvery time.Duration
+	// OnSnapshot, if non-nil, observes each snapshot as it is taken (the
+	// efd-stress live progress line).
+	OnSnapshot func(SoakSnapshot)
 }
 
+// workers sizes the pool: explicit Workers wins; otherwise instances are
+// packed GOMAXPROCS-aware — as many concurrent instances as fit whole
+// (GOMAXPROCS / goroutines-per-instance), at least one. The same packing
+// serves pinned runs: one pinned OS thread per process goroutine means the
+// default pool keeps the pinned thread count within about one instance of
+// GOMAXPROCS instead of drowning the kernel scheduler in runnable threads.
 func (o StressOptions) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
@@ -62,6 +87,21 @@ func (o StressOptions) runBudget() time.Duration {
 		return o.RunBudget
 	}
 	return 5 * time.Second
+}
+
+// SoakSnapshot is one periodic observation of a long stress run: cumulative
+// progress, the interval's throughput, and the process-level resource gauges
+// whose growth across snapshots is the leak signal.
+type SoakSnapshot struct {
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Runs    int           `json:"runs"`
+	Ops     int64         `json:"ops"`
+	// IntervalOpsPerSec is the throughput since the previous snapshot (the
+	// cumulative rate hides late-run collapses).
+	IntervalOpsPerSec float64 `json:"interval_ops_per_sec"`
+	Goroutines        int     `json:"goroutines"`
+	HeapAlloc         uint64  `json:"heap_alloc"`
+	HeapObjects       uint64  `json:"heap_objects"`
 }
 
 // LatencyStats summarizes decision latencies.
@@ -90,6 +130,32 @@ type StressReport struct {
 	Crashes    int          `json:"crashes"` // injected S-process kills observed
 	Latency    LatencyStats `json:"latency"`
 	Errors     []string     `json:"errors,omitempty"` // first few checker messages
+	// Snapshots is the soak series (StressOptions.SnapshotEvery > 0 only).
+	Snapshots []SoakSnapshot `json:"snapshots,omitempty"`
+}
+
+// LeakCheck audits a soak series for monotone resource growth: it compares
+// the last snapshot against the first, allowing slack for scheduler and GC
+// noise (goroutines: a few stragglers from instances still winding down;
+// heap: transient live sets between GC cycles). It reports nil for runs
+// without a soak series. The thresholds are deliberately generous — this is
+// a leak detector for 10-minute soaks, not a memory benchmark.
+func (r *StressReport) LeakCheck() error {
+	if len(r.Snapshots) < 2 {
+		return nil
+	}
+	first, last := r.Snapshots[0], r.Snapshots[len(r.Snapshots)-1]
+	const goroutineSlack = 16
+	if last.Goroutines > first.Goroutines+goroutineSlack {
+		return fmt.Errorf("native: goroutines grew %d → %d across the soak (> %d slack): leaked instance or advice-service goroutines",
+			first.Goroutines, last.Goroutines, goroutineSlack)
+	}
+	const heapSlack = 64 << 20
+	if last.HeapAlloc > first.HeapAlloc+heapSlack {
+		return fmt.Errorf("native: heap grew %d → %d bytes across the soak (> %d slack): retained garbage",
+			first.HeapAlloc, last.HeapAlloc, heapSlack)
+	}
+	return nil
 }
 
 // Render formats the report as aligned text.
@@ -131,6 +197,47 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 	if opt.Rate > 0 {
 		interval = time.Duration(float64(time.Second) / opt.Rate)
 	}
+	// Soak monitor: sample progress and resource gauges on a fixed cadence
+	// until the workers drain. runtime.ReadMemStats stops the world briefly,
+	// which at soak cadences (tens of seconds) is negligible.
+	monitorDone := make(chan struct{})
+	var monitorWG sync.WaitGroup
+	if opt.SnapshotEvery > 0 {
+		monitorWG.Add(1)
+		go func() {
+			defer monitorWG.Done()
+			ticker := time.NewTicker(opt.SnapshotEvery)
+			defer ticker.Stop()
+			var lastOps int64
+			var lastAt time.Duration
+			for {
+				select {
+				case <-monitorDone:
+					return
+				case <-ticker.C:
+				}
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				snap := SoakSnapshot{
+					Elapsed:     time.Since(start),
+					Goroutines:  runtime.NumGoroutine(),
+					HeapAlloc:   ms.HeapAlloc,
+					HeapObjects: ms.HeapObjects,
+				}
+				mu.Lock()
+				snap.Runs, snap.Ops = rep.Runs, rep.Ops
+				if dt := (snap.Elapsed - lastAt).Seconds(); dt > 0 {
+					snap.IntervalOpsPerSec = float64(snap.Ops-lastOps) / dt
+				}
+				lastOps, lastAt = snap.Ops, snap.Elapsed
+				rep.Snapshots = append(rep.Snapshots, snap)
+				mu.Unlock()
+				if opt.OnSnapshot != nil {
+					opt.OnSnapshot(snap)
+				}
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -161,6 +268,9 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 				cfg, err := mk(opt.Seed*1_000_003 + r)
 				if err == nil && len(cfg.Inputs) != cfg.NC {
 					err = fmt.Errorf("native: scenario produced %d inputs for %d C-processes", len(cfg.Inputs), cfg.NC)
+				}
+				if opt.Pin {
+					cfg.Pin = true
 				}
 				var rt *Runtime
 				if err == nil {
@@ -203,6 +313,8 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 		}()
 	}
 	wg.Wait()
+	close(monitorDone)
+	monitorWG.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}

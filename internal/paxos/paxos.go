@@ -41,10 +41,18 @@ func BlockKey(key string, i int) string { return fmt.Sprintf("%s/blk/%d", key, i
 // DecKey returns the decision register key for instance key.
 func DecKey(key string) string { return key + "/dec" }
 
-// PollDecision reads the decision register of an instance (one step) and
-// returns its value if the instance has decided.
-func PollDecision(e sim.Ops, key string) (Value, bool) {
-	return DecodeDecision(e.Read(DecKey(key)))
+// InstanceKeys returns the bound key table of one consensus instance: one
+// block register per proposer (slot i = BlockKey(key, i)) followed by the
+// decision register (slot nProposers = DecKey(key)). NewProposer binds it
+// once, so the proposer's per-operation path never formats a key or
+// resolves one again.
+func InstanceKeys(key string, nProposers int) []string {
+	keys := make([]string, nProposers+1)
+	for i := 0; i < nProposers; i++ {
+		keys[i] = BlockKey(key, i)
+	}
+	keys[nProposers] = DecKey(key)
+	return keys
 }
 
 // DecodeDecision interprets a raw value read from an instance's DecKey
@@ -78,10 +86,13 @@ const (
 )
 
 // Proposer drives one consensus instance for one process. Each StepOp call
-// performs exactly one shared-memory operation.
+// performs exactly one shared-memory operation, against the instance's key
+// table bound once at construction (block slots 0..nProposers-1, decision
+// slot nProposers — see InstanceKeys), so stepping an instance never
+// formats or re-resolves a register key.
 type Proposer struct {
-	key       string
-	me        int // proposer index in 0..nProposers-1
+	regs      sim.Regs // InstanceKeys(key, nProps) bound to the caller's Ops
+	me        int      // proposer index in 0..nProposers-1
 	nProps    int
 	proposal  Value
 	pc        int
@@ -95,13 +106,15 @@ type Proposer struct {
 	lastWrite Block // our own block content (we are its only writer)
 }
 
-// NewProposer returns a proposer for the given instance. me must be unique
-// among the nProposers processes that may propose to this instance. The
-// proposal may be nil initially and supplied later via SetProposal; the
-// proposer will not enter phase 1 without one.
-func NewProposer(key string, me, nProposers int, proposal Value) *Proposer {
+// NewProposer returns a proposer for the given instance, binding the
+// instance's registers on e (the proposer steps are tied to that backend
+// handle from then on). me must be unique among the nProposers processes
+// that may propose to this instance. The proposal may be nil initially and
+// supplied later via SetProposal; the proposer will not enter phase 1
+// without one.
+func NewProposer(e sim.Ops, key string, me, nProposers int, proposal Value) *Proposer {
 	return &Proposer{
-		key:      key,
+		regs:     e.Bind(InstanceKeys(key, nProposers)),
 		me:       me,
 		nProps:   nProposers,
 		proposal: proposal,
@@ -136,13 +149,13 @@ func (p *Proposer) Round() int { return p.round }
 // whether this process currently believes it should drive the instance;
 // non-leaders only poll the decision register. StepOp returns the decision
 // when known.
-func (p *Proposer) StepOp(e sim.Ops, lead bool) (Value, bool) {
+func (p *Proposer) StepOp(lead bool) (Value, bool) {
 	switch p.pc {
 	case pcDone:
 		return p.decision, true
 
 	case pcPoll:
-		if v, ok := PollDecision(e, p.key); ok {
+		if v, ok := DecodeDecision(p.regs.Read(p.nProps)); ok {
 			p.decision = v
 			p.pc = pcDone
 			return v, true
@@ -154,13 +167,13 @@ func (p *Proposer) StepOp(e sim.Ops, lead bool) (Value, bool) {
 
 	case pcP1Write:
 		p.lastWrite = Block{MBal: p.round, Bal: p.lastWrite.Bal, Val: p.lastWrite.Val}
-		e.Write(BlockKey(p.key, p.me), p.lastWrite)
+		p.regs.Write(p.me, p.lastWrite)
 		p.readIdx, p.maxSeen, p.pickBal, p.pickVal = 0, 0, 0, nil
 		p.pc = pcP1Read
 		return nil, false
 
 	case pcP1Read:
-		p.readPhaseBlock(e)
+		p.readPhaseBlock()
 		if p.readIdx < p.nProps {
 			return nil, false
 		}
@@ -181,13 +194,13 @@ func (p *Proposer) StepOp(e sim.Ops, lead bool) (Value, bool) {
 
 	case pcP2Write:
 		p.lastWrite = Block{MBal: p.round, Bal: p.round, Val: p.curVal}
-		e.Write(BlockKey(p.key, p.me), p.lastWrite)
+		p.regs.Write(p.me, p.lastWrite)
 		p.readIdx, p.maxSeen = 0, 0
 		p.pc = pcP2Read
 		return nil, false
 
 	case pcP2Read:
-		p.readPhaseBlock(e)
+		p.readPhaseBlock()
 		if p.readIdx < p.nProps {
 			return nil, false
 		}
@@ -199,7 +212,7 @@ func (p *Proposer) StepOp(e sim.Ops, lead bool) (Value, bool) {
 		return nil, false
 
 	case pcDecWrite:
-		e.Write(DecKey(p.key), decRec{V: p.curVal})
+		p.regs.Write(p.nProps, decRec{V: p.curVal})
 		p.decision = p.curVal
 		p.pc = pcDone
 		return p.decision, true
@@ -209,13 +222,13 @@ func (p *Proposer) StepOp(e sim.Ops, lead bool) (Value, bool) {
 
 // readPhaseBlock reads the next block register of the current phase and
 // folds it into the phase state.
-func (p *Proposer) readPhaseBlock(e sim.Ops) {
+func (p *Proposer) readPhaseBlock() {
 	j := p.readIdx
 	p.readIdx++
 	if j == p.me {
 		return // our own block cannot preempt us
 	}
-	b, ok := e.Read(BlockKey(p.key, j)).(Block)
+	b, ok := p.regs.Read(j).(Block)
 	if !ok {
 		return
 	}

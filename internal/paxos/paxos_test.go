@@ -14,9 +14,9 @@ import (
 func proposerBody(key string, n int, decided *[]Value) func(i int) sim.Body {
 	return func(i int) sim.Body {
 		return func(e sim.Ops) {
-			p := NewProposer(key, i, n, fmt.Sprintf("v%d", i))
+			p := NewProposer(e, key, i, n, fmt.Sprintf("v%d", i))
 			for {
-				if v, ok := p.StepOp(e, true); ok {
+				if v, ok := p.StepOp(true); ok {
 					(*decided)[i] = v
 					e.Decide(v)
 					return
@@ -104,9 +104,9 @@ func TestStableLeaderDecides(t *testing.T) {
 		Inputs: inputs,
 		CBody: func(i int) sim.Body {
 			return func(e sim.Ops) {
-				p := NewProposer("inst", i, n, fmt.Sprintf("v%d", i))
+				p := NewProposer(e, "inst", i, n, fmt.Sprintf("v%d", i))
 				for {
-					if v, ok := p.StepOp(e, i == 0); ok {
+					if v, ok := p.StepOp(i == 0); ok {
 						decided[i] = v
 						e.Decide(v)
 						return
@@ -143,12 +143,12 @@ func TestLateLeaderAdoptsEarlierValue(t *testing.T) {
 		Inputs: vec.Of("a", "b"),
 		CBody: func(i int) sim.Body {
 			return func(e sim.Ops) {
-				p := NewProposer("inst", i, n, fmt.Sprintf("v%d", i))
+				p := NewProposer(e, "inst", i, n, fmt.Sprintf("v%d", i))
 				steps := 0
 				for {
 					steps++
 					lead := (i == 0 && steps < 40) || (i == 1 && steps >= 10)
-					if v, ok := p.StepOp(e, lead); ok {
+					if v, ok := p.StepOp(lead); ok {
 						e.Decide(v)
 						return
 					}

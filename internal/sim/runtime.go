@@ -102,16 +102,31 @@ type Ops interface {
 	// reads. On the sim backend it consumes exactly len(keys) scheduled
 	// steps and is step-for-step identical to a loop of Read calls, so
 	// traces, explorer state spaces and experiment results are unchanged by
-	// porting a collect loop onto it. On the native backend it is the
-	// batched-collect fast path: one operation prologue, then len(keys)
-	// atomic loads.
+	// porting a collect loop onto it. On the native backend it is one
+	// operation prologue, then one cell resolution and atomic load per key.
 	//
 	// The keys slice must not be mutated after it has been passed to
-	// ReadMany — backends may memoize per-slice state (the native backend
-	// caches the resolved cells by slice identity). Collect loops should
-	// build their key slice once and reuse it. The returned slice is owned
-	// by the caller.
+	// ReadMany — backends may keep it. The returned slice is owned by the
+	// caller. Hot collect loops should bind their key table once and use
+	// Regs.ReadMany with a reused buffer instead.
 	ReadMany(keys []string) []Value
+	// Bind resolves a fixed table of register keys once into a bound handle
+	// with slot-indexed operations (keys[i] becomes slot i). Bodies bind
+	// their key tables up front — once per body or per consensus instance —
+	// and run their hot loops against the handle.
+	//
+	// On the sim backend a bound operation is exactly the corresponding
+	// keyed operation (same scheduled step, same trace event, same pending
+	// op), so binding never perturbs a schedule, trace, explorer state space
+	// or experiment result. On the native backend binding resolves each key
+	// to its register cell pointer once, making every subsequent bound
+	// operation a direct atomic access with no per-op hashing or map
+	// lookups — the allocation-free hot path.
+	//
+	// The keys slice must not be mutated after it has been passed to Bind;
+	// backends keep it. Bind may allocate (it is the setup step, not the hot
+	// path).
+	Bind(keys []string) Regs
 	// Write performs one atomic register write.
 	Write(key string, v Value)
 	// QueryFD queries this S-process's failure-detector module.

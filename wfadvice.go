@@ -131,6 +131,12 @@ type (
 	// Ops is the backend-independent operation surface of a process body;
 	// both sim.Env and native.Env implement it.
 	Ops = sim.Ops
+	// Value is a shared-register value.
+	Value = sim.Value
+	// Regs is a bound register handle (Ops.Bind): a key table resolved once
+	// into slot-indexed operations — the native backend's allocation-free
+	// hot path, step-shape-neutral on the sim backend.
+	Regs = sim.Regs
 	// Body is a process program.
 	Body = sim.Body
 	// Result captures a finished run.
