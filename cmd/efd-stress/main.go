@@ -11,6 +11,7 @@
 //	efd-stress -task kset -n 5 -k 2 -crash 2 -duration 5s -json
 //	efd-stress -task renaming -n 5 -j 4 -k 2 -procs 8 -rate 100
 //	efd-stress -task consensus -n 16 -park spin -duration 2s
+//	efd-stress -task consensus -n 4 -advice event -duration 2s
 //	efd-stress -task consensus -n 4 -pin -duration 2s
 //	efd-stress -task consensus -n 4 -duration 10m -snapshot 30s
 //
@@ -50,6 +51,7 @@ func main() {
 		crashAt   = flag.Int("crash-at", 0, "first crash time in ticks (0 = default 50)")
 		stabilize = flag.Int("stabilize", 0, "advice stabilization time in ticks (0 = default 100)")
 		park      = flag.String("park", "", "C-process poll-loop policy: yield (default) | spin | sleep duration (e.g. 50µs)")
+		advice    = flag.String("advice", "", "advice publication mode: "+strings.Join(core.ScenarioAdviceModes(), " | ")+" (default tick)")
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the whole process (0 = leave as is)")
 		workers   = flag.Int("workers", 0, "concurrent instances (0 = GOMAXPROCS / instance goroutines)")
 		duration  = flag.Duration("duration", 2*time.Second, "total stress wall-clock budget")
@@ -69,7 +71,7 @@ func main() {
 		Task: *taskName, N: *n, K: *k, J: *j,
 		Crash: *crash, CrashAt: fdet.Time(*crashAt),
 		Detector: *detector, Stabilize: fdet.Time(*stabilize),
-		Park: *park,
+		Park: *park, Advice: *advice,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efd-stress: %v\n", err)

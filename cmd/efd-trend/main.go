@@ -1,9 +1,10 @@
 // Command efd-trend checks a native stress trajectory: it parses a
 // BENCH_native.json artifact — a concatenation of per-scenario
 // native.StressReport JSON documents, as produced by the CI bench-smoke
-// job — and fails on structural problems or large ops/sec regressions.
+// job — and fails on structural problems, large ops/sec regressions, or
+// decision-latency ceilings being exceeded.
 //
-// Two modes, combinable:
+// Three modes, combinable:
 //
 //   - Floor mode (-min-ops): every report must show at least the given
 //     ops/sec. CI uses a floor far below any healthy runner's numbers, so
@@ -13,6 +14,14 @@
 //     against an earlier artifact; a report whose ops/sec fell below
 //     -min-frac of its baseline fails. Meant for like-for-like machines
 //     (local before/after runs, dedicated perf boxes).
+//   - Ceiling mode (-max-p50 / -max-p99): decision-latency percentiles must
+//     stay below the given ceilings. Each flag repeats; a value is either a
+//     bare duration (applies to every report) or "scenarioPrefix:duration"
+//     (applies to scenarios with that name prefix; the longest matching
+//     prefix wins). This is the latency analogue of -min-ops: ceilings sit
+//     far above a healthy run's percentiles so that only a regression class
+//     — event-driven advice collapsing back to tick-sampling stalls, a
+//     poll loop losing its wakeups — trips them.
 //
 // Every mode also enforces the structural invariants: at least one report,
 // every report ran instances, and no report carries checker violations or
@@ -23,6 +32,7 @@
 //	efd-trend BENCH_native.json
 //	efd-trend -min-ops 50000 BENCH_native.json
 //	efd-trend -baseline old/BENCH_native.json -min-frac 0.25 BENCH_native.json
+//	efd-trend -max-p50 'consensus/n=4/omega/advice=event:15ms' -max-p99 250ms BENCH_native.json
 //
 // Exit status: 0 on pass, 1 on any failed check, 2 on bad flags or input.
 package main
@@ -34,6 +44,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"wfadvice/internal/native"
 )
@@ -58,17 +70,161 @@ func parseReports(path string) ([]*native.StressReport, error) {
 	return reps, nil
 }
 
+// latCeiling is one parsed -max-p50/-max-p99 entry: a latency ceiling scoped
+// to scenarios whose name starts with prefix ("" scopes to all).
+type latCeiling struct {
+	prefix string
+	max    time.Duration
+}
+
+// ceilingList is a repeatable latency-ceiling flag.
+type ceilingList []latCeiling
+
+// String implements flag.Value.
+func (c *ceilingList) String() string {
+	parts := make([]string, len(*c))
+	for i, e := range *c {
+		if e.prefix == "" {
+			parts[i] = e.max.String()
+		} else {
+			parts[i] = e.prefix + ":" + e.max.String()
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value: a value is "duration" or "prefix:duration".
+// The split is on the last colon — scenario names never contain one, so the
+// form is unambiguous.
+func (c *ceilingList) Set(s string) error {
+	prefix, ds := "", s
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		prefix, ds = s[:i], s[i+1:]
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil || d <= 0 {
+		return fmt.Errorf("want [scenarioPrefix:]duration with a positive duration, got %q", s)
+	}
+	*c = append(*c, latCeiling{prefix: prefix, max: d})
+	return nil
+}
+
+// match returns the ceiling applying to scenario: the entry with the longest
+// matching prefix (a bare-duration entry has the empty prefix and matches
+// everything). Later entries win ties, so a repeated flag can tighten.
+func (c ceilingList) match(scenario string) (time.Duration, bool) {
+	best, found, bestLen := time.Duration(0), false, -1
+	for _, e := range c {
+		if strings.HasPrefix(scenario, e.prefix) && len(e.prefix) >= bestLen {
+			best, found, bestLen = e.max, true, len(e.prefix)
+		}
+	}
+	return best, found
+}
+
+// checkOptions carries every enabled check.
+type checkOptions struct {
+	minOps  float64
+	minFrac float64
+	maxP50  ceilingList
+	maxP99  ceilingList
+}
+
+// checkReports runs every enabled check over the artifact's reports against
+// an optional baseline (scenario name → report) and returns the number of
+// failed checks. Output lines go through logf.
+func checkReports(reps []*native.StressReport, base map[string]*native.StressReport, opt checkOptions, logf func(format string, a ...any)) int {
+	failures := 0
+	failf := func(format string, a ...any) {
+		failures++
+		logf("FAIL  "+format, a...)
+	}
+	if len(reps) == 0 {
+		failf("no stress reports in the artifact")
+	}
+	// Scenario names key the baseline match, so duplicates would silently
+	// shadow each other and a dropped scenario would dodge the comparison
+	// entirely — both are artifact-structure failures, not regressions.
+	seen := make(map[string]bool, len(reps))
+	for _, r := range reps {
+		if seen[r.Scenario] {
+			failf("%s: duplicate report for this scenario", r.Scenario)
+		}
+		seen[r.Scenario] = true
+	}
+	// latency applies one percentile's ceilings to one report; a matched
+	// report without latency samples fails — the ceiling asserts a latency
+	// profile, and a report that cannot show one cannot satisfy it.
+	latency := func(r *native.StressReport, name string, got time.Duration, ceilings ceilingList) bool {
+		max, ok := ceilings.match(r.Scenario)
+		if !ok {
+			return true
+		}
+		if r.Latency.Samples == 0 {
+			failf("%s: %s ceiling %v applies but the report has no latency samples", r.Scenario, name, max)
+			return false
+		}
+		if got > max {
+			failf("%s: %s %v above ceiling %v", r.Scenario, name, got, max)
+			return false
+		}
+		return true
+	}
+	for _, r := range reps {
+		switch {
+		case r.Runs == 0:
+			failf("%s: zero instances ran", r.Scenario)
+		case r.Failed():
+			failf("%s: checker rejected the run (%d violations, %d undecided)", r.Scenario, r.Violations, r.Undecided)
+		case opt.minOps > 0 && r.OpsPerSec < opt.minOps:
+			failf("%s: %.0f ops/sec below floor %.0f", r.Scenario, r.OpsPerSec, opt.minOps)
+		default:
+			if !latency(r, "p50", r.Latency.P50, opt.maxP50) || !latency(r, "p99", r.Latency.P99, opt.maxP99) {
+				continue
+			}
+			note := ""
+			if b := base[r.Scenario]; b != nil && b.OpsPerSec > 0 {
+				frac := r.OpsPerSec / b.OpsPerSec
+				note = fmt.Sprintf("  (%.2fx of baseline)", frac)
+				if frac < opt.minFrac {
+					failf("%s: %.0f ops/sec is %.2fx of baseline %.0f (min %.2fx)",
+						r.Scenario, r.OpsPerSec, frac, b.OpsPerSec, opt.minFrac)
+					continue
+				}
+			}
+			logf("ok    %s: %d runs, %.0f ops/sec, p50 %v, p99 %v%s",
+				r.Scenario, r.Runs, r.OpsPerSec, r.Latency.P50, r.Latency.P99, note)
+		}
+	}
+	missing := make([]string, 0, len(base))
+	for scenario := range base {
+		if !seen[scenario] {
+			missing = append(missing, scenario)
+		}
+	}
+	sort.Strings(missing)
+	for _, scenario := range missing {
+		failf("%s: present in baseline but missing from the artifact (a removed scenario is a 100%% regression)",
+			scenario)
+	}
+	return failures
+}
+
 func main() {
+	var opt checkOptions
 	var (
 		minOps   = flag.Float64("min-ops", 0, "fail any report below this ops/sec floor (0 = skip)")
 		baseline = flag.String("baseline", "", "earlier BENCH_native.json to compare against (scenario-matched)")
 		minFrac  = flag.Float64("min-frac", 0.25, "with -baseline: fail a scenario below this fraction of its baseline ops/sec")
 	)
+	flag.Var(&opt.maxP50, "max-p50", "decision-latency p50 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
+	flag.Var(&opt.maxP99, "max-p99", "decision-latency p99 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "efd-trend: exactly one BENCH_native.json argument required")
 		os.Exit(2)
 	}
+	opt.minOps, opt.minFrac = *minOps, *minFrac
 	reps, err := parseReports(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efd-trend: %v\n", err)
@@ -87,58 +243,9 @@ func main() {
 		}
 	}
 
-	failures := 0
-	failf := func(format string, a ...any) {
-		failures++
-		fmt.Printf("FAIL  "+format+"\n", a...)
-	}
-	if len(reps) == 0 {
-		failf("no stress reports in %s", flag.Arg(0))
-	}
-	// Scenario names key the baseline match, so duplicates would silently
-	// shadow each other and a dropped scenario would dodge the comparison
-	// entirely — both are artifact-structure failures, not regressions.
-	seen := make(map[string]bool, len(reps))
-	for _, r := range reps {
-		if seen[r.Scenario] {
-			failf("%s: duplicate report for this scenario", r.Scenario)
-		}
-		seen[r.Scenario] = true
-	}
-	for _, r := range reps {
-		switch {
-		case r.Runs == 0:
-			failf("%s: zero instances ran", r.Scenario)
-		case r.Failed():
-			failf("%s: checker rejected the run (%d violations, %d undecided)", r.Scenario, r.Violations, r.Undecided)
-		case *minOps > 0 && r.OpsPerSec < *minOps:
-			failf("%s: %.0f ops/sec below floor %.0f", r.Scenario, r.OpsPerSec, *minOps)
-		default:
-			note := ""
-			if b := base[r.Scenario]; b != nil && b.OpsPerSec > 0 {
-				frac := r.OpsPerSec / b.OpsPerSec
-				note = fmt.Sprintf("  (%.2fx of baseline)", frac)
-				if frac < *minFrac {
-					failf("%s: %.0f ops/sec is %.2fx of baseline %.0f (min %.2fx)",
-						r.Scenario, r.OpsPerSec, frac, b.OpsPerSec, *minFrac)
-					continue
-				}
-			}
-			fmt.Printf("ok    %s: %d runs, %.0f ops/sec, p99 %v%s\n",
-				r.Scenario, r.Runs, r.OpsPerSec, r.Latency.P99, note)
-		}
-	}
-	missing := make([]string, 0, len(base))
-	for scenario := range base {
-		if !seen[scenario] {
-			missing = append(missing, scenario)
-		}
-	}
-	sort.Strings(missing)
-	for _, scenario := range missing {
-		failf("%s: present in baseline but missing from %s (a removed scenario is a 100%% regression)",
-			scenario, flag.Arg(0))
-	}
+	failures := checkReports(reps, base, opt, func(format string, a ...any) {
+		fmt.Printf(format+"\n", a...)
+	})
 	if failures > 0 {
 		fmt.Printf("efd-trend: %d failed checks over %d reports\n", failures, len(reps))
 		os.Exit(1)

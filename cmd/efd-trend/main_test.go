@@ -1,0 +1,210 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wfadvice/internal/native"
+)
+
+// rep builds a healthy synthetic report; mutate the result for failure cases.
+func rep(scenario string, ops float64, p50, p99 time.Duration) *native.StressReport {
+	return &native.StressReport{
+		Scenario:  scenario,
+		Runs:      100,
+		OpsPerSec: ops,
+		Latency: native.LatencyStats{
+			P50:     p50,
+			P99:     p99,
+			Max:     p99,
+			Samples: 100,
+		},
+	}
+}
+
+// ceilings parses flag values through the real flag.Value path.
+func ceilings(t *testing.T, vals ...string) ceilingList {
+	t.Helper()
+	var c ceilingList
+	for _, v := range vals {
+		if err := c.Set(v); err != nil {
+			t.Fatalf("Set(%q): %v", v, err)
+		}
+	}
+	return c
+}
+
+// check runs checkReports and returns the failure count and all output lines.
+func check(reps []*native.StressReport, base map[string]*native.StressReport, opt checkOptions) (int, []string) {
+	var lines []string
+	n := checkReports(reps, base, opt, func(format string, a ...any) {
+		lines = append(lines, fmt.Sprintf(format, a...))
+	})
+	return n, lines
+}
+
+func TestCeilingSet(t *testing.T) {
+	c := ceilings(t, "15ms", "consensus/n=4:250us", "renaming:2ms")
+	want := ceilingList{
+		{prefix: "", max: 15 * time.Millisecond},
+		{prefix: "consensus/n=4", max: 250 * time.Microsecond},
+		{prefix: "renaming", max: 2 * time.Millisecond},
+	}
+	if len(c) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(c), len(want))
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestCeilingSetRejectsBadValues(t *testing.T) {
+	for _, bad := range []string{"", "consensus", "consensus:", ":", "15", "consensus:-3ms", "consensus:0s"} {
+		var c ceilingList
+		if err := c.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestCeilingMatchLongestPrefixWins(t *testing.T) {
+	c := ceilings(t, "100ms", "consensus:10ms", "consensus/n=4:1ms")
+	cases := []struct {
+		scenario string
+		want     time.Duration
+	}{
+		{"consensus/n=4/omega", time.Millisecond},
+		{"consensus/n=16/omega", 10 * time.Millisecond},
+		{"renaming/n=4/j=3/k=2", 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		got, ok := c.match(tc.scenario)
+		if !ok || got != tc.want {
+			t.Errorf("match(%q) = %v, %v; want %v, true", tc.scenario, got, ok, tc.want)
+		}
+	}
+	if _, ok := ceilingList(nil).match("consensus/n=4"); ok {
+		t.Error("empty list matched")
+	}
+	scoped := ceilings(t, "consensus:10ms")
+	if _, ok := scoped.match("renaming/n=4"); ok {
+		t.Error("scoped ceiling matched an unrelated scenario")
+	}
+}
+
+func TestCheckReportsHealthy(t *testing.T) {
+	reps := []*native.StressReport{
+		rep("consensus/n=4/omega", 50000, 80*time.Microsecond, 500*time.Microsecond),
+		rep("renaming/n=4/j=3/k=2", 9000, time.Millisecond, 8*time.Millisecond),
+	}
+	opt := checkOptions{
+		minOps:  1000,
+		minFrac: 0.25,
+		maxP50:  ceilings(t, "consensus:15ms", "renaming:50ms"),
+		maxP99:  ceilings(t, "250ms"),
+	}
+	if n, lines := check(reps, nil, opt); n != 0 {
+		t.Fatalf("healthy artifact: %d failures: %v", n, lines)
+	}
+}
+
+func TestCheckReportsP50Ceiling(t *testing.T) {
+	reps := []*native.StressReport{
+		rep("consensus/n=4/omega/advice=event", 50000, 20*time.Millisecond, 60*time.Millisecond),
+	}
+	opt := checkOptions{maxP50: ceilings(t, "consensus/n=4/omega/advice=event:15ms")}
+	n, _ := check(reps, nil, opt)
+	if n != 1 {
+		t.Fatalf("p50 20ms vs ceiling 15ms: got %d failures, want 1", n)
+	}
+	// Same report passes a looser ceiling for the same scenario.
+	opt = checkOptions{maxP50: ceilings(t, "consensus/n=4/omega/advice=event:25ms")}
+	if n, lines := check(reps, nil, opt); n != 0 {
+		t.Fatalf("p50 20ms vs ceiling 25ms: %d failures: %v", n, lines)
+	}
+}
+
+func TestCheckReportsP99Ceiling(t *testing.T) {
+	reps := []*native.StressReport{
+		rep("consensus/n=4/omega", 50000, 80*time.Microsecond, 400*time.Millisecond),
+	}
+	opt := checkOptions{maxP99: ceilings(t, "250ms")}
+	if n, _ := check(reps, nil, opt); n != 1 {
+		t.Fatalf("p99 400ms vs ceiling 250ms: got %d failures, want 1", n)
+	}
+}
+
+func TestCheckReportsCeilingScoping(t *testing.T) {
+	// The slow scenario has no matching ceiling, so only the fast one is held
+	// to its number.
+	reps := []*native.StressReport{
+		rep("consensus/n=4/omega/advice=event", 50000, 90*time.Microsecond, 600*time.Microsecond),
+		rep("renaming/n=4/j=3/k=2", 5000, 25*time.Millisecond, 120*time.Millisecond),
+	}
+	opt := checkOptions{maxP50: ceilings(t, "consensus:1ms")}
+	if n, lines := check(reps, nil, opt); n != 0 {
+		t.Fatalf("scoped ceiling hit unrelated scenario: %d failures: %v", n, lines)
+	}
+}
+
+func TestCheckReportsCeilingNeedsSamples(t *testing.T) {
+	r := rep("consensus/n=4/omega", 50000, 0, 0)
+	r.Latency = native.LatencyStats{}
+	opt := checkOptions{maxP50: ceilings(t, "1ms")}
+	if n, _ := check([]*native.StressReport{r}, nil, opt); n != 1 {
+		t.Fatalf("ceiling over zero-sample report: got %d failures, want 1", n)
+	}
+	// Without a ceiling the same report is fine.
+	if n, lines := check([]*native.StressReport{r}, nil, checkOptions{}); n != 0 {
+		t.Fatalf("zero-sample report with no ceiling: %d failures: %v", n, lines)
+	}
+}
+
+func TestCheckReportsStructural(t *testing.T) {
+	if n, _ := check(nil, nil, checkOptions{}); n != 1 {
+		t.Errorf("empty artifact: got %d failures, want 1", n)
+	}
+
+	empty := rep("consensus/n=4/omega", 0, 0, 0)
+	empty.Runs = 0
+	if n, _ := check([]*native.StressReport{empty}, nil, checkOptions{}); n != 1 {
+		t.Errorf("zero runs: got %d failures, want 1", n)
+	}
+
+	bad := rep("consensus/n=4/omega", 50000, time.Millisecond, time.Millisecond)
+	bad.Violations = 2
+	if n, _ := check([]*native.StressReport{bad}, nil, checkOptions{}); n != 1 {
+		t.Errorf("checker violations: got %d failures, want 1", n)
+	}
+
+	dup := []*native.StressReport{
+		rep("consensus/n=4/omega", 50000, time.Millisecond, time.Millisecond),
+		rep("consensus/n=4/omega", 50000, time.Millisecond, time.Millisecond),
+	}
+	if n, _ := check(dup, nil, checkOptions{}); n != 1 {
+		t.Errorf("duplicate scenario: got %d failures, want 1", n)
+	}
+}
+
+func TestCheckReportsFloorAndBaseline(t *testing.T) {
+	reps := []*native.StressReport{
+		rep("consensus/n=4/omega", 800, time.Millisecond, time.Millisecond),
+	}
+	if n, _ := check(reps, nil, checkOptions{minOps: 1000}); n != 1 {
+		t.Errorf("ops floor: got %d failures, want 1", n)
+	}
+
+	base := map[string]*native.StressReport{
+		"consensus/n=4/omega": rep("consensus/n=4/omega", 10000, time.Millisecond, time.Millisecond),
+	}
+	if n, _ := check(reps, base, checkOptions{minFrac: 0.25}); n != 1 {
+		t.Errorf("baseline regression 0.08x: got %d failures, want 1", n)
+	}
+	base["renaming/n=4/j=3/k=2"] = rep("renaming/n=4/j=3/k=2", 5000, time.Millisecond, time.Millisecond)
+	if n, _ := check(reps, base, checkOptions{minFrac: 0.05}); n != 1 {
+		t.Errorf("baseline scenario missing from artifact: got %d failures, want 1", n)
+	}
+}

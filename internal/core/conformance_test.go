@@ -37,8 +37,12 @@ import (
 // identical across backends.
 
 // conformanceGrid covers every task in the scenario zoo, both detector
-// families with consuming algorithms, crash injection, and both poll-park
-// policies of the direct solver.
+// families with consuming algorithms, crash injection, both poll-park
+// policies of the direct solver, and both advice modes of the native
+// service. The advice=event rows run the sim backend on the identical
+// discrete clock as their tick twins (the mode only changes how the native
+// service publishes), so they pin down exactly the claim of the event-mode
+// design: publication timing moves, verdicts do not.
 func conformanceGrid() []core.ScenarioParams {
 	return []core.ScenarioParams{
 		{Task: "consensus", N: 3, Stabilize: 20},
@@ -51,6 +55,10 @@ func conformanceGrid() []core.ScenarioParams {
 		{Task: "nset", N: 4, Stabilize: 1},
 		{Task: "prop1", N: 3, Stabilize: 20},
 		{Task: "renaming", N: 4, J: 3, K: 2, Stabilize: 20},
+		{Task: "consensus", N: 3, Stabilize: 20, Advice: "event"},
+		{Task: "consensus", N: 4, Crash: 1, CrashAt: 30, Stabilize: 20, Advice: "event"},
+		{Task: "kset", N: 4, K: 2, Stabilize: 20, Advice: "event"},
+		{Task: "renaming", N: 4, J: 3, K: 2, Stabilize: 20, Advice: "event"},
 	}
 }
 
@@ -58,7 +66,7 @@ func TestBackendConformance(t *testing.T) {
 	grid := conformanceGrid()
 	seeds := 2
 	if testing.Short() {
-		grid = []core.ScenarioParams{grid[0], grid[2], grid[5], grid[7], grid[8]}
+		grid = []core.ScenarioParams{grid[0], grid[2], grid[5], grid[7], grid[8], grid[10]}
 		seeds = 1
 	}
 	for _, p := range grid {

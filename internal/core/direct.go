@@ -30,6 +30,14 @@ import (
 // the deciding S-processes need, which on small machines dominates the
 // measured decision latency.
 type PollPark struct {
+	// Notify parks the poller on the backend's change epoch: Pause returns
+	// when the epoch has advanced past seen — an advice publication, a
+	// register write, teardown — instead of after a blind yield or sleep.
+	// Scenarios enable it with event-driven advice (advice=event), where the
+	// native runtime bumps the epoch on exactly those events; it takes
+	// precedence over Sleep and Yield. Like them it is semantically inert on
+	// the sim backend (AwaitEpoch is a no-op there).
+	Notify bool
 	// Yield cedes the processor (runtime.Gosched) after an unsuccessful
 	// sweep. This is the default scenario policy.
 	Yield bool
@@ -38,9 +46,15 @@ type PollPark struct {
 	Sleep time.Duration
 }
 
-// Pause applies the policy once, between poll sweeps.
-func (p PollPark) Pause() {
+// Pause applies the policy once, between poll sweeps. seen is the change
+// epoch the caller sampled (e.Epoch()) before the sweep that found no
+// progress; sampling before the sweep is what makes a Notify park immune to
+// lost wakeups — any change that landed during the sweep already advanced
+// the epoch, so the park returns immediately.
+func (p PollPark) Pause(e sim.Ops, seen uint64) {
 	switch {
+	case p.Notify:
+		e.AwaitEpoch(seen)
 	case p.Sleep > 0:
 		time.Sleep(p.Sleep)
 	case p.Yield:
@@ -51,6 +65,8 @@ func (p PollPark) Pause() {
 // String renders the policy as a -park flag value.
 func (p PollPark) String() string {
 	switch {
+	case p.Notify:
+		return "notify"
 	case p.Sleep > 0:
 		return p.Sleep.String()
 	case p.Yield:
@@ -159,13 +175,14 @@ func (c DirectConfig) DirectCBody(i int) sim.Body {
 		dec := e.Bind(c.decKeys())
 		buf := make([]sim.Value, dec.Len())
 		for {
+			seen := e.Epoch()
 			for _, v := range dec.ReadMany(buf) {
 				if d, ok := paxos.DecodeDecision(v); ok {
 					e.Decide(d)
 					return
 				}
 			}
-			c.Park.Pause()
+			c.Park.Pause(e, seen)
 		}
 	}
 }
@@ -193,6 +210,7 @@ func (c DirectConfig) DirectSBody(me int) sim.Body {
 		buf := make([]sim.Value, ins.Len())
 		var proposal sim.Value
 		for {
+			seen := e.Epoch()
 			lv := c.LeaderVec(e.QueryFD())
 			if proposal == nil {
 				for _, v := range ins.ReadMany(buf) {
@@ -205,7 +223,14 @@ func (c DirectConfig) DirectSBody(me int) sim.Body {
 					for _, p := range props {
 						p.SetProposal(proposal)
 					}
+					continue
 				}
+				// No C-process has published an input yet: park exactly like
+				// an unsuccessful decision sweep. Spinning here starved the
+				// rest of the system for whole preemption quanta (an input
+				// write wakes a Notify park; the other policies retry on
+				// their own cadence).
+				c.Park.Pause(e, seen)
 				continue
 			}
 			drove := false
@@ -220,7 +245,7 @@ func (c DirectConfig) DirectSBody(me int) sim.Body {
 				}
 			}
 			if !drove {
-				c.Park.Pause()
+				c.Park.Pause(e, seen)
 			}
 		}
 	}

@@ -44,6 +44,11 @@ type Scenario struct {
 	// derived from the task's key shapes; it pre-sizes the native backend's
 	// sharded register table.
 	Registers int
+	// Advice is the native advice-publication mode (tick sampling or
+	// event-driven transition publishing). The sim backend ignores it: its
+	// discrete scheduler clock serves the history directly, so simulation
+	// traces and experiment bytes are identical under either mode.
+	Advice native.AdviceMode
 }
 
 // SimConfig builds the lockstep backend configuration for one seeded run.
@@ -67,6 +72,7 @@ func (s *Scenario) NativeConfig(seed int64, tick time.Duration) native.Config {
 		History:   s.Detector.History(s.Pattern, s.Stabilize, seed),
 		Tick:      tick,
 		Registers: s.Registers,
+		Advice:    s.Advice,
 	}
 }
 
@@ -100,6 +106,12 @@ type ScenarioParams struct {
 	// leaders, flapping vectors — which is exactly the regime stress runs
 	// want to spend time in.
 	Stabilize fdet.Time
+	// Advice selects the native advice-publication mode: "" or "tick"
+	// (default, fixed-ticker re-sampling) or "event" (publish enumerated
+	// history transitions as their deadlines pass and wake epoch-parked
+	// pollers; the direct solver's default yield park upgrades to the
+	// epoch notify). The sim backend is unaffected either way.
+	Advice string
 }
 
 // ScenarioTasks lists the valid ScenarioParams.Task values.
@@ -107,6 +119,9 @@ func ScenarioTasks() []string { return []string{"consensus", "kset", "renaming",
 
 // ScenarioDetectors lists the valid ScenarioParams.Detector values.
 func ScenarioDetectors() []string { return []string{"omega", "vector", "trivial"} }
+
+// ScenarioAdviceModes lists the valid ScenarioParams.Advice values.
+func ScenarioAdviceModes() []string { return []string{"tick", "event"} }
 
 // NewScenario validates p and builds the scenario.
 func NewScenario(p ScenarioParams) (*Scenario, error) {
@@ -137,12 +152,29 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %v", err)
 	}
-	// Only the direct solver has a poll loop; accepting -park for the other
-	// tasks would mislabel their reports (the scenario name keys trend
-	// baselines) while changing nothing.
-	parkUsed := p.Task == "consensus" || p.Task == "kset"
+	advice, err := native.ParseAdviceMode(p.Advice)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	// The direct solver's poll loops and the Theorem 9 machine's replica
+	// loops both honor the park policy; nset's helpers decide in a handful
+	// of operations and have no idle loop, so accepting -park there would
+	// mislabel its reports (the scenario name keys trend baselines) while
+	// changing nothing.
+	parkUsed := p.Task != "nset"
 	if p.Park != "" && !parkUsed {
 		return nil, fmt.Errorf("scenario: task %q has no poll loop, park=%q does not apply", p.Task, p.Park)
+	}
+	// With event-driven advice the default yield park upgrades to the epoch
+	// notify: the native runtime bumps its epoch on exactly the events a
+	// sweep could newly observe, so parked pollers wake when something
+	// changed instead of rescheduling blindly. An explicit spin or sleep
+	// park is honored as given — those are reference policies the stress
+	// matrix measures against. parkLabel keeps the name suffix tied to what
+	// the user asked for (the advice suffix below covers the upgrade).
+	parkLabel := park.String()
+	if advice == native.AdviceEvent && parkUsed && parkLabel == "yield" {
+		park.Notify = true
 	}
 
 	s := &Scenario{NC: p.N, NS: p.N, Pattern: pat, Stabilize: p.Stabilize}
@@ -221,7 +253,7 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		}
 		s.Detector = fdet.VectorOmegaK{K: p.K, GoodPos: 0}
 		s.Registers = machineRegisters(p.N, p.N)
-		mc := MachineConfig{NC: p.N, NS: p.N, K: p.K, PollKeys: machinePollKeys(p.N),
+		mc := MachineConfig{NC: p.N, NS: p.N, K: p.K, Park: park, PollKeys: machinePollKeys(p.N),
 			Factory: func(i int, _ sim.Value) auto.Automaton { return wfree.NewRenaming(i) }}
 		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
 		s.Name = fmt.Sprintf("renaming/n=%d/j=%d/k=%d/vector", p.N, p.J, p.K)
@@ -237,7 +269,7 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		s.Inputs = intIn()
 		s.Detector = fdet.VectorOmegaK{K: 1, GoodPos: 0}
 		s.Registers = machineRegisters(p.N, p.N)
-		mc := MachineConfig{NC: p.N, NS: p.N, K: 1, PollKeys: machinePollKeys(p.N),
+		mc := MachineConfig{NC: p.N, NS: p.N, K: 1, Park: park, PollKeys: machinePollKeys(p.N),
 			Factory: func(i int, input sim.Value) auto.Automaton { return wfree.NewProp1(tk, i, input) }}
 		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
 		s.Name = fmt.Sprintf("prop1/n=%d/vector", p.N)
@@ -256,11 +288,17 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 	default:
 		return nil, fmt.Errorf("scenario: unknown task %q (valid: %v)", p.Task, ScenarioTasks())
 	}
+	s.Advice = advice
 	if p.Crash > 0 {
 		s.Name += fmt.Sprintf("/crash=%d", p.Crash)
 	}
-	if parkUsed && park != (PollPark{Yield: true}) {
-		s.Name += "/park=" + park.String()
+	if parkUsed && parkLabel != "yield" {
+		s.Name += "/park=" + parkLabel
+	}
+	// The advice mode keys trend baselines like crash and park do: the two
+	// modes have very different latency profiles.
+	if advice != native.AdviceTick {
+		s.Name += "/advice=" + advice.String()
 	}
 	return s, nil
 }

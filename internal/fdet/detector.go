@@ -3,6 +3,7 @@ package fdet
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // History is a failure detector history H: Query(i, t) is the value output
@@ -33,6 +34,55 @@ func (h funcHistory) Query(i int, t Time) any { return h.f(i, t) }
 
 // HistoryFunc returns a History backed by f.
 func HistoryFunc(f func(i int, t Time) any) History { return funcHistory{f: f} }
+
+// TransitionHistory is a History whose advice-change times are enumerable.
+// Because every history here is a pure function of (module, time), the set
+// of times at which any module's output may change is itself a function of
+// the history's parameters — noise flips every tick until stabilization, an
+// Ω leader appears exactly at the stabilization time, ◇P suspicion sets
+// move exactly at crash times. Event-driven advice services step directly
+// from transition to transition instead of re-sampling on a blind tick.
+type TransitionHistory interface {
+	History
+	// NextTransition returns the smallest time strictly after t at which
+	// some module's advice may differ from its advice at t. ok=false means
+	// the history is constant from t on (no further transitions).
+	// NextTransition may be conservative — it may name times at which
+	// nothing actually changes — but it must never skip a real change.
+	NextTransition(t Time) (next Time, ok bool)
+}
+
+// stepHistory pairs a query function with a transition enumerator.
+type stepHistory struct {
+	funcHistory
+	next func(t Time) (Time, bool)
+}
+
+func (h stepHistory) NextTransition(t Time) (Time, bool) { return h.next(t) }
+
+// HistoryWithTransitions returns a History that also enumerates its
+// transition times via next (see TransitionHistory).
+func HistoryWithTransitions(f func(i int, t Time) any, next func(t Time) (Time, bool)) History {
+	return stepHistory{funcHistory{f: f}, next}
+}
+
+// noisyUntil enumerates the transitions of a history that emits fresh seeded
+// noise every tick before stabilize and is constant afterwards.
+func noisyUntil(stabilize Time) func(Time) (Time, bool) {
+	return func(t Time) (Time, bool) {
+		if t < stabilize {
+			return t + 1, true
+		}
+		return 0, false
+	}
+}
+
+// everyTick enumerates a history that may change at every tick forever
+// (rotating windows, permanently flapping vector positions).
+func everyTick(t Time) (Time, bool) { return t + 1, true }
+
+// never enumerates a constant history.
+func never(Time) (Time, bool) { return 0, false }
 
 // noiseRand returns a deterministic rng for (seed, i, t) so that histories
 // are pure functions of their arguments.
@@ -81,7 +131,7 @@ func (Trivial) Name() string { return "Trivial" }
 
 // History implements Detector.
 func (Trivial) History(Pattern, Time, int64) History {
-	return HistoryFunc(func(int, Time) any { return nil })
+	return HistoryWithTransitions(func(int, Time) any { return nil }, never)
 }
 
 // Omega is the Ω leader detector: eventually the same correct S-process is
@@ -97,12 +147,12 @@ func (Omega) Name() string { return "Omega" }
 // History implements Detector.
 func (Omega) History(p Pattern, stabilize Time, seed int64) History {
 	leader := p.MinCorrect()
-	return HistoryFunc(func(i int, t Time) any {
+	return HistoryWithTransitions(func(i int, t Time) any {
 		if t >= stabilize {
 			return leader
 		}
 		return noiseRand(seed, i, t).Intn(p.N)
-	})
+	}, noisyUntil(stabilize))
 }
 
 // CheckOmega audits a recorded output stream against Ω's property over the
@@ -170,7 +220,9 @@ func (d AntiOmegaK) History(p Pattern, stabilize Time, seed int64) History {
 	if size < 0 {
 		size = 0
 	}
-	return HistoryFunc(func(i int, t Time) any {
+	// The post-stabilization window rotates at every tick, so the history
+	// keeps a transition at every tick forever.
+	return HistoryWithTransitions(func(i int, t Time) any {
 		out := make([]int, 0, size)
 		if t >= stabilize {
 			// Rotate a window of size n−k over the non-safe processes.
@@ -185,7 +237,7 @@ func (d AntiOmegaK) History(p Pattern, stabilize Time, seed int64) History {
 			out = append(out, x)
 		}
 		return sortedCopy(out)
-	})
+	}, everyTick)
 }
 
 // CheckAntiOmegaK audits a recorded output stream against the ¬Ωk property
@@ -256,7 +308,14 @@ func (d VectorOmegaK) History(p Pattern, stabilize Time, seed int64) History {
 		good = int(rand.New(rand.NewSource(seed)).Intn(d.K))
 	}
 	correct := p.Correct()
-	return HistoryFunc(func(i int, t Time) any {
+	// Pinned (or single-position) vectors are constant after stabilization;
+	// otherwise the non-good positions flap forever, so the history keeps a
+	// transition at every tick.
+	next := everyTick
+	if d.Pinned || d.K == 1 {
+		next = noisyUntil(stabilize)
+	}
+	return HistoryWithTransitions(func(i int, t Time) any {
 		v := make([]int, d.K)
 		rng := noiseRand(seed, i, t)
 		for j := range v {
@@ -271,7 +330,7 @@ func (d VectorOmegaK) History(p Pattern, stabilize Time, seed int64) History {
 			v[good] = leader
 		}
 		return v
-	})
+	}, next)
 }
 
 // PinnedLeaders returns the stabilized leader of every position of a Pinned
@@ -353,7 +412,7 @@ func (FirstAlive) History(p Pattern, _ Time, _ int64) History {
 	if !p.Faulty(0) {
 		out = 0
 	}
-	return HistoryFunc(func(int, Time) any { return out })
+	return HistoryWithTransitions(func(int, Time) any { return out }, never)
 }
 
 // EventuallyPerfect is the ◇P detector: eventually the output at every
@@ -370,7 +429,27 @@ func (EventuallyPerfect) Name() string { return "EventuallyPerfect" }
 // exactly the processes crashed so far (which converges to faulty(F));
 // before it, arbitrary subsets.
 func (EventuallyPerfect) History(p Pattern, stabilize Time, seed int64) History {
-	return HistoryFunc(func(i int, t Time) any {
+	// After stabilization the output only moves when a process crashes, so
+	// the remaining transitions are exactly the crash times of the pattern.
+	crashes := make([]Time, 0, p.N)
+	for _, at := range p.CrashAt {
+		if at != NoCrash {
+			crashes = append(crashes, at)
+		}
+	}
+	sort.Slice(crashes, func(a, b int) bool { return crashes[a] < crashes[b] })
+	next := func(t Time) (Time, bool) {
+		if t < stabilize {
+			return t + 1, true
+		}
+		for _, at := range crashes {
+			if at > t {
+				return at, true
+			}
+		}
+		return 0, false
+	}
+	return HistoryWithTransitions(func(i int, t Time) any {
 		out := make([]int, 0, p.N)
 		if t >= stabilize {
 			for x := 0; x < p.N; x++ {
@@ -387,5 +466,5 @@ func (EventuallyPerfect) History(p Pattern, stabilize Time, seed int64) History 
 			}
 		}
 		return out
-	})
+	}, next)
 }

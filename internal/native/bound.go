@@ -56,17 +56,26 @@ func (b *boundRegs) ReadInt(i int) (int, bool) {
 }
 
 // Write performs one atomic write of slot i: prologue plus one cell store
-// (packed and allocation-free for fitting ints, boxed otherwise).
+// (packed and allocation-free for fitting ints, boxed otherwise). In event
+// mode the write also bumps the runtime notifier so epoch-parked pollers
+// re-sweep; the bump is two uncontended atomics unless someone is parked.
 func (b *boundRegs) Write(i int, v sim.Value) {
 	b.e.step()
 	b.cells[i].store(v)
+	if b.e.r.wake {
+		b.e.r.notify.bump()
+	}
 }
 
 // WriteInt performs one atomic write of slot i, unboxed and allocation-free
-// for every int that fits 63 bits.
+// for every int that fits 63 bits. Bumps the notifier in event mode, like
+// Write.
 func (b *boundRegs) WriteInt(i int, x int) {
 	b.e.step()
 	b.cells[i].storeInt(x)
+	if b.e.r.wake {
+		b.e.r.notify.bump()
+	}
 }
 
 // ReadMany performs a batched collect over every bound slot: one operation

@@ -1,0 +1,208 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfadvice/internal/fdet"
+)
+
+// pastClock returns a clock whose model time already reads now and will not
+// advance for the duration of a test (one model tick per hour), so the
+// cooperative publication path can be driven deterministically with no
+// background goroutine racing the assertions.
+func pastClock(now fdet.Time) *clock {
+	return &clock{
+		start: time.Now().Add(-time.Duration(now)*time.Hour - 30*time.Minute),
+		tick:  time.Hour,
+	}
+}
+
+func TestNotifierEpochAndAwait(t *testing.T) {
+	n := newNotifier()
+	seen := n.current()
+	n.bump()
+	if got := n.current(); got != seen+1 {
+		t.Fatalf("epoch after bump: got %d, want %d", got, seen+1)
+	}
+	// A stale epoch returns without blocking, no matter the timeout.
+	start := time.Now()
+	n.await(seen, time.Hour)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("await with stale epoch blocked %v", d)
+	}
+	// A current epoch parks until the timeout backstop.
+	start = time.Now()
+	n.await(n.current(), 10*time.Millisecond)
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("await with current epoch returned after %v, want ≥ 10ms", d)
+	}
+}
+
+// TestNotifierNoLostWakeups hammers the park protocol the poll loops use:
+// sample the epoch, sweep the predicate, park if nothing changed. The await
+// timeout is an hour, so if a bump could be lost the parked waiters outlive
+// the writer and the watchdog fires. Run under -race this also checks the
+// epoch/waiters/channel ordering argument in notifier's doc comment.
+func TestNotifierNoLostWakeups(t *testing.T) {
+	const (
+		rounds  = 2000
+		waiters = 4
+	)
+	n := newNotifier()
+	var v atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var observed uint64
+			for observed < rounds {
+				seen := n.current() // before the sweep, like the poll loops
+				cur := v.Load()
+				if cur > observed {
+					observed = cur
+					continue
+				}
+				n.await(seen, time.Hour)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			v.Add(1)
+			n.bump()
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("lost wakeup: a waiter is still parked after the writer finished")
+	}
+}
+
+// TestEventAdviceCooperativePublish drives the query-path publication hook
+// with no background goroutine at all: the clock already reads a
+// post-stabilization time, so the first advice query itself must publish the
+// stabilized leader, drain the transition queue, and bump the notifier.
+func TestEventAdviceCooperativePublish(t *testing.T) {
+	const stabilize = 5
+	p := fdet.NewPattern(3, nil)
+	hist := fdet.Omega{}.History(p, stabilize, 42)
+	notify := newNotifier()
+	s := newFDService(pastClock(10), hist, p.N, AdviceEvent, notify)
+	if !s.event || s.th == nil {
+		t.Fatalf("Omega history did not select the event path: event=%v th=%v", s.event, s.th)
+	}
+	s.publishLocked(0) // what startService does, minus the waker goroutine
+	if nt := s.nextT.Load(); nt != 1 {
+		t.Fatalf("after tick-0 publish nextT = %d, want 1 (noisy history)", nt)
+	}
+	epoch := notify.current()
+
+	leader := p.MinCorrect()
+	for i := 0; i < p.N; i++ {
+		if got := s.advice(i); got != leader {
+			t.Fatalf("advice(%d) after stabilization = %v, want leader %v", i, got, leader)
+		}
+	}
+	if nt := s.nextT.Load(); nt != noTransition {
+		t.Fatalf("post-stabilization nextT = %d, want noTransition", nt)
+	}
+	if notify.current() == epoch {
+		t.Fatal("cooperative publication did not bump the notifier")
+	}
+	// Re-querying past the final transition publishes nothing further.
+	epoch = notify.current()
+	_ = s.advice(0)
+	if notify.current() != epoch {
+		t.Fatal("idle query bumped the notifier with no transition due")
+	}
+}
+
+// TestEventWakerPublishesUnqueried exercises the background waker: with every
+// would-be querier silent (the all-parked case), the waker alone must walk the
+// transition queue to the stabilized advice. The cells are read directly so no
+// query triggers a cooperative publish.
+func TestEventWakerPublishesUnqueried(t *testing.T) {
+	const stabilize = 3
+	p := fdet.NewPattern(2, nil)
+	hist := fdet.Omega{}.History(p, stabilize, 7)
+	notify := newNotifier()
+	c := &clock{start: time.Now(), tick: time.Millisecond}
+	s := newFDService(c, hist, p.N, AdviceEvent, notify)
+	s.startService()
+	defer s.stopService()
+
+	leader := p.MinCorrect()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.nextT.Load() == noTransition {
+			if p := s.cells[0].v.Load(); p == nil || *p != leader {
+				t.Fatalf("converged cell holds %v, want leader %v", p, leader)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waker never drained the transition queue: nextT=%d", s.nextT.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEventFallbackForOpaqueHistory: a bare HistoryFunc cannot enumerate
+// transitions, so requesting event mode must fall back to tick sampling —
+// advice still tracks the history (one tick late at worst) and each sample
+// bumps the notifier so epoch-parked pollers stay live.
+func TestEventFallbackForOpaqueHistory(t *testing.T) {
+	hist := fdet.HistoryFunc(func(i int, t fdet.Time) any { return t })
+	notify := newNotifier()
+	c := &clock{start: time.Now(), tick: time.Millisecond}
+	s := newFDService(c, hist, 1, AdviceEvent, notify)
+	if s.event {
+		t.Fatal("opaque history selected the event path; want tick fallback")
+	}
+	s.startService()
+	defer s.stopService()
+
+	epoch := notify.current()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, _ := s.advice(0).(int)
+		if v >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fallback sampler stuck at advice %v", s.advice(0))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if notify.current() == epoch {
+		t.Fatal("fallback sampling never bumped the notifier")
+	}
+}
+
+// TestEventNilHistory: the trivial service (no detector) in event mode has no
+// transitions at all — advice is ⊥ and the transition queue starts empty.
+func TestEventNilHistory(t *testing.T) {
+	s := newFDService(pastClock(10), nil, 2, AdviceEvent, newNotifier())
+	if !s.event {
+		t.Fatal("nil history did not select the event path")
+	}
+	s.publishLocked(0)
+	if nt := s.nextT.Load(); nt != noTransition {
+		t.Fatalf("nil history nextT = %d, want noTransition", nt)
+	}
+	if got := s.advice(0); got != nil {
+		t.Fatalf("trivial advice = %v, want nil", got)
+	}
+}

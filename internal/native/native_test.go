@@ -140,9 +140,12 @@ func TestProp1Native(t *testing.T) {
 
 // TestCrashInjection crashes an S-process mid-run and verifies both that the
 // process was actually killed and that the survivors still decide (Ω's
-// leader is correct in the pattern, so advice routes around the crash).
+// leader is correct in the pattern, so advice routes around the crash). The
+// first crash lands at tick 1 so it strikes before the decisions: with the
+// poll loops parking instead of spinning, runs now finish within a few
+// ticks, and a later crash time would let the run end before any kill.
 func TestCrashInjection(t *testing.T) {
-	s := scenario(t, core.ScenarioParams{Task: "consensus", N: 4, Crash: 2, CrashAt: 5, Stabilize: 20})
+	s := scenario(t, core.ScenarioParams{Task: "consensus", N: 4, Crash: 2, CrashAt: 1, Stabilize: 20})
 	res := runNative(t, s, 3)
 	if err := native.Check(s.Task, res); err != nil {
 		t.Fatal(err)

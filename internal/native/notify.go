@@ -1,0 +1,79 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// notifier is the event-mode wakeup primitive shared by one Runtime: a
+// monotone change epoch plus a broadcast channel, in the futex idiom. Every
+// state change a parked poller could be waiting on — an advice publication,
+// a register write, runtime teardown — bumps the epoch; pollers park on
+// "epoch advanced past what I saw before my last sweep".
+//
+// The fast path is asymmetric on purpose. Writers always pay one atomic add
+// (the epoch) and one atomic load (the waiter count); only when a waiter is
+// actually parked do they take the mutex and rotate the broadcast channel.
+// Waiters pay the mutex only when about to block, which is exactly when they
+// have nothing better to do.
+//
+// Why wakeups cannot be lost: a waiter increments waiters, reads the current
+// channel under the mutex, and then re-checks the epoch before blocking. A
+// concurrent writer bumps the epoch before loading waiters. Both sides use
+// sequentially consistent atomics, so in the interleaving where the writer
+// loads waiters before the waiter's increment (and therefore skips the
+// channel rotation), the writer's epoch bump is ordered before the waiter's
+// re-check — the re-check sees the new epoch and the waiter returns without
+// blocking. In the other interleaving the writer sees waiters ≥ 1 and closes
+// the channel the waiter reads under the same mutex, so the waiter either
+// blocks on a channel the writer closes or re-checks after the bump. Either
+// way the waiter observes the change.
+type notifier struct {
+	epoch   atomic.Uint64
+	waiters atomic.Int32
+	mu      sync.Mutex
+	ch      chan struct{}
+}
+
+func newNotifier() *notifier { return &notifier{ch: make(chan struct{})} }
+
+// current returns the epoch to sample before a predicate sweep.
+func (n *notifier) current() uint64 { return n.epoch.Load() }
+
+// bump records a state change and wakes every parked waiter.
+func (n *notifier) bump() {
+	n.epoch.Add(1)
+	if n.waiters.Load() == 0 {
+		return
+	}
+	n.mu.Lock()
+	close(n.ch)
+	n.ch = make(chan struct{})
+	n.mu.Unlock()
+}
+
+// await parks the caller until the epoch differs from seen or the timeout
+// elapses. The timeout is a liveness backstop, not a correctness mechanism:
+// it bounds how long a poller can sit parked across events the notifier does
+// not model (crash injection deadlines, a caller that raced its own sweep).
+func (n *notifier) await(seen uint64, timeout time.Duration) {
+	if n.epoch.Load() != seen {
+		return
+	}
+	n.waiters.Add(1)
+	n.mu.Lock()
+	ch := n.ch
+	n.mu.Unlock()
+	if n.epoch.Load() != seen {
+		n.waiters.Add(-1)
+		return
+	}
+	t := time.NewTimer(timeout)
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+	t.Stop()
+	n.waiters.Add(-1)
+}

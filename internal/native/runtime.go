@@ -63,6 +63,13 @@ type Config struct {
 	// Tick is the wall-clock length of one fdet.Time unit (0 = DefaultTick).
 	Tick time.Duration
 
+	// Advice selects how the failure-detector service publishes advice:
+	// AdviceTick (default) re-samples on a fixed ticker; AdviceEvent
+	// publishes enumerated history transitions as their deadlines pass and
+	// wakes epoch-parked pollers through the runtime notifier (register
+	// writes bump it too in this mode). See AdviceMode.
+	Advice AdviceMode
+
 	// Registers is an estimate of how many distinct register keys the run
 	// will touch, used to pre-size the sharded register table. Scenarios
 	// derive it from their known key shapes (in/i, cons/j/*, cell/a/s/*);
@@ -146,6 +153,8 @@ type Runtime struct {
 	store     *store
 	clock     *clock
 	fd        *fdService
+	notify    *notifier
+	wake      bool // event mode: register writes bump the notifier
 	envs      []*Env
 	stopped   atomic.Bool
 	undecided atomic.Int64
@@ -173,9 +182,11 @@ func New(cfg Config) (*Runtime, error) {
 		cfg:    cfg,
 		store:  newStore(cfg.Registers),
 		clock:  &clock{tick: cfg.Tick},
+		notify: newNotifier(),
+		wake:   cfg.Advice == AdviceEvent,
 		doneCh: make(chan struct{}),
 	}
-	r.fd = newFDService(r.clock, cfg.History, cfg.NS)
+	r.fd = newFDService(r.clock, cfg.History, cfg.NS, cfg.Advice, r.notify)
 	for i := 0; i < cfg.NC; i++ {
 		if cfg.Inputs[i] == nil {
 			continue
@@ -268,6 +279,11 @@ func (r *Runtime) Run(budget time.Duration) *Result {
 		reason = ReasonBudget
 	}
 	r.stopped.Store(true)
+	// Wake every epoch-parked goroutine so it observes the stop: any
+	// AwaitEpoch entered after the store panics errStopped on entry, and any
+	// already parked is woken by this bump (or its backstop timeout) and
+	// panics on its next operation.
+	r.notify.bump()
 	r.wg.Wait()
 	r.fd.stopService()
 	// doneCh also closes when every goroutine returns; if that happened
@@ -415,6 +431,9 @@ func (e *Env) ReadMany(keys []string) []sim.Value {
 func (e *Env) Write(key string, v sim.Value) {
 	e.step()
 	e.cell(key).store(v)
+	if e.r.wake {
+		e.r.notify.bump()
+	}
 }
 
 // QueryFD returns this S-process's current advice from the live
@@ -425,6 +444,35 @@ func (e *Env) QueryFD() sim.Value {
 	}
 	e.step()
 	return e.r.fd.advice(e.id.Index)
+}
+
+// awaitBackstop bounds how long AwaitEpoch can park without rechecking its
+// surroundings: it is the liveness net for events the notifier does not
+// carry (this process's own crash deadline arriving while parked), not a
+// latency mechanism — all real wakeups are event-driven bumps.
+const awaitBackstop = time.Millisecond
+
+// Epoch returns the runtime's change epoch, sampled before a predicate
+// sweep and passed to AwaitEpoch afterwards. It is not a shared-memory
+// operation: no step is consumed and no crash can strike on it.
+func (e *Env) Epoch() uint64 { return e.r.notify.current() }
+
+// AwaitEpoch parks the caller until the change epoch differs from seen — an
+// advice publication, any register write (event mode), or runtime teardown.
+// Sampling seen before the sweep makes the park race-free: a change landing
+// between sweep and park has already advanced the epoch, so the park
+// returns immediately. Like Epoch it consumes no step, but stop and crash
+// deadlines are honored on entry (a parked process is "between operations",
+// where the model says crashes strike). On the sim backend this is a no-op:
+// the lockstep scheduler paces every step, so there is nothing to wait for.
+func (e *Env) AwaitEpoch(seen uint64) {
+	if e.r.stopped.Load() {
+		panic(errStopped)
+	}
+	if e.crashable && e.r.cfg.Pattern.Crashed(e.id.Index, e.r.clock.now()) {
+		panic(errCrashed)
+	}
+	e.r.notify.await(seen, awaitBackstop)
 }
 
 // Decide records this C-process's decision. The decision is final; deciding

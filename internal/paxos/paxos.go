@@ -145,6 +145,12 @@ func (p *Proposer) Decided() (Value, bool) {
 // Round returns the current round, for observability.
 func (p *Proposer) Round() int { return p.round }
 
+// Idle reports whether the proposer is merely polling the decision register
+// (not mid-phase and not done): a StepOp(false) in this state is a pure
+// poll with no effect on the instance. Poll loops use it to decide whether
+// an iteration made progress or can park.
+func (p *Proposer) Idle() bool { return p.pc == pcPoll }
+
 // StepOp performs one shared-memory operation of the instance. lead reports
 // whether this process currently believes it should drive the instance;
 // non-leaders only poll the decision register. StepOp returns the decision

@@ -133,6 +133,21 @@ type Ops interface {
 	QueryFD() Value
 	// Decide records this C-process's decision (final; deciding twice panics).
 	Decide(v Value)
+	// Epoch returns the backend's change epoch, and AwaitEpoch parks the
+	// caller until the epoch differs from seen (or a bounded backstop
+	// elapses). Poll loops sample Epoch before a predicate sweep and park on
+	// the sampled value when the sweep makes no progress; because any change
+	// landing after the sample has already advanced the epoch, the park
+	// cannot miss it. Neither call is a shared-memory operation: no
+	// scheduled step is consumed, nothing is traced, and schedules, explorer
+	// state spaces and experiment results are unchanged by their presence.
+	// On the sim backend the lockstep scheduler paces every step, so there
+	// is nothing to wait for: Epoch is constantly zero and AwaitEpoch
+	// returns immediately. On the native backend the epoch advances on every
+	// advice publication, every register write in event-advice mode, and
+	// teardown (see native.AdviceMode and the notifier in internal/native).
+	Epoch() uint64
+	AwaitEpoch(seen uint64)
 }
 
 // Body is a process program. It runs in its own goroutine against an Ops
@@ -558,6 +573,15 @@ func (e *Env) QueryFD() Value {
 	e.r.record(e.p, OpQueryFD, "", v)
 	return v
 }
+
+// Epoch implements Ops. The sim scheduler paces every step, so the change
+// epoch never moves: constant zero, no step consumed, nothing traced.
+func (e *Env) Epoch() uint64 { return 0 }
+
+// AwaitEpoch implements Ops. Inert on the sim backend (see Epoch): the
+// scheduler already blocks the process until its next step is granted, so
+// there is never anything to wait for here.
+func (e *Env) AwaitEpoch(uint64) {}
 
 // Decide records this C-process's decision. Subsequent steps are permitted
 // (they are the paper's null steps) but the decision is final; deciding

@@ -297,6 +297,9 @@ type (
 	// aggregate outcome (throughput, latency percentiles, verdicts).
 	StressOptions = native.StressOptions
 	StressReport  = native.StressReport
+	// AdviceMode selects how the native failure-detector service publishes
+	// advice: tick re-sampling or event-driven transition publishing.
+	AdviceMode = native.AdviceMode
 	// Scenario is one task + algorithm + advice configuration executable on
 	// either backend ("two backends, one algorithm surface").
 	Scenario = core.Scenario
@@ -320,6 +323,17 @@ var (
 	// resolves a detector family for CLI use.
 	NewScenario    = core.NewScenario
 	DetectorByName = fdet.ByName
+	// ParseAdviceMode resolves an -advice flag value.
+	ParseAdviceMode = native.ParseAdviceMode
+)
+
+// Native advice publication modes.
+const (
+	// AdviceTick: the service re-samples the history once per clock tick.
+	AdviceTick = native.AdviceTick
+	// AdviceEvent: the service publishes enumerated history transitions as
+	// their deadlines pass and wakes epoch-parked pollers.
+	AdviceEvent = native.AdviceEvent
 )
 
 // Native run end reasons.
