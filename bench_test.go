@@ -61,7 +61,10 @@ func BenchmarkE14KSetSweep(b *testing.B)     { benchExperiment(b, "E14") }
 // and reads any-typed values (so the caller-side interface boxing of large
 // ints is included, as in the pre-bind PR 4 numbers it is compared
 // against); the typed variant uses WriteInt/ReadInt, the fully unboxed
-// zero-allocation path.
+// zero-allocation path. The stubbed variants rebuild the runtime with
+// metrics disabled (counter handles resolve to discarding zero handles at
+// construction), so instrumented-minus-stubbed is the whole per-op cost of
+// the observability counters — the README records the delta.
 func BenchmarkNativeRegisterOps(b *testing.B) {
 	run := func(b *testing.B, n int, body func(r wfadvice.Regs, per int)) {
 		inputs := wfadvice.NewVector(n)
@@ -89,22 +92,31 @@ func BenchmarkNativeRegisterOps(b *testing.B) {
 			b.Fatalf("run ended %v", res.Reason)
 		}
 	}
+	generic := func(r wfadvice.Regs, per int) {
+		for s := 0; s < per; s += 2 {
+			r.Write(0, s)
+			r.Read(0)
+		}
+	}
+	typed := func(r wfadvice.Regs, per int) {
+		for s := 0; s < per; s += 2 {
+			r.WriteInt(0, s)
+			r.ReadInt(0)
+		}
+	}
+	stubbed := func(b *testing.B, body func(b *testing.B)) {
+		wfadvice.NativeEnableMetrics(false)
+		defer wfadvice.NativeEnableMetrics(true)
+		body(b)
+	}
 	for _, n := range []int{2, 8} {
-		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
-			run(b, n, func(r wfadvice.Regs, per int) {
-				for s := 0; s < per; s += 2 {
-					r.Write(0, s)
-					r.Read(0)
-				}
-			})
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) { run(b, n, generic) })
+		b.Run(fmt.Sprintf("procs=%d/stubbed", n), func(b *testing.B) {
+			stubbed(b, func(b *testing.B) { run(b, n, generic) })
 		})
-		b.Run(fmt.Sprintf("procs=%d/typed", n), func(b *testing.B) {
-			run(b, n, func(r wfadvice.Regs, per int) {
-				for s := 0; s < per; s += 2 {
-					r.WriteInt(0, s)
-					r.ReadInt(0)
-				}
-			})
+		b.Run(fmt.Sprintf("procs=%d/typed", n), func(b *testing.B) { run(b, n, typed) })
+		b.Run(fmt.Sprintf("procs=%d/typed/stubbed", n), func(b *testing.B) {
+			stubbed(b, func(b *testing.B) { run(b, n, typed) })
 		})
 	}
 }

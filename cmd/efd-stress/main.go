@@ -14,12 +14,23 @@
 //	efd-stress -task consensus -n 4 -advice event -duration 2s
 //	efd-stress -task consensus -n 4 -pin -duration 2s
 //	efd-stress -task consensus -n 4 -duration 10m -snapshot 30s
+//	efd-stress -task consensus -n 4 -duration 30s -http 127.0.0.1:9190
+//	efd-stress -task consensus -n 4 -duration 5s -trace-out trace.json
 //
-// The last form is the native soak profile: periodic report snapshots
-// (cumulative runs/ops, interval throughput, goroutine and heap gauges) are
-// printed to stderr as the run progresses and embedded in the -json report;
-// after the run the snapshot series is audited for goroutine/heap growth
-// and a detected leak fails the command like a checker violation.
+// The -snapshot form is the native soak profile: periodic report snapshots
+// (cumulative runs/ops, interval throughput, goroutine and heap gauges, and
+// the native counter deltas — advice publications and notifier wakeups —
+// for the interval) are printed to stderr as the run progresses and
+// embedded in the -json report; after the run the snapshot series is
+// audited for goroutine/heap growth and a detected leak fails the command
+// like a checker violation.
+//
+// -http serves the live debug endpoint while the run is going: /metrics
+// (Prometheus text: every native counter, the decision-latency histogram,
+// runtime gauges), /trace (the decision-lifecycle ring; ?format=chrome for
+// chrome://tracing / Perfetto), /debug/pprof/* and /debug/vars. -trace-out
+// writes the Chrome-format trace dump to a file when the run ends; either
+// flag arms the tracer.
 //
 // Exit status: 0 on success, 1 if any instance failed the checker (a ∆
 // violation or an undecided C-process) or the soak leak audit, 2 on bad
@@ -30,6 +41,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -38,6 +51,7 @@ import (
 	"wfadvice/internal/core"
 	"wfadvice/internal/fdet"
 	"wfadvice/internal/native"
+	"wfadvice/internal/obs"
 )
 
 func main() {
@@ -62,6 +76,9 @@ func main() {
 		pin       = flag.Bool("pin", false, "lock every process goroutine to its own OS thread (kernel-scheduled instances)")
 		snapshot  = flag.Duration("snapshot", 0, "soak profile: emit a report snapshot every interval (0 = off); leak growth across snapshots fails the run")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON on stdout")
+		httpAddr  = flag.String("http", "", "serve the live debug endpoint (/metrics, /trace, /debug/pprof) on this address for the duration of the run")
+		traceOut  = flag.String("trace-out", "", "write the decision-lifecycle trace (Chrome trace format) to this file at exit")
+		traceCap  = flag.Int("trace-buf", 1<<16, "trace ring capacity in events (oldest events are dropped beyond it)")
 	)
 	flag.Parse()
 	if *procs > 0 {
@@ -77,6 +94,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "efd-stress: %v\n", err)
 		os.Exit(2)
 	}
+	// Observability surface: the tracer is armed by either trace flag, the
+	// latency histogram is shared with the harness so /metrics can serve
+	// live percentiles mid-run.
+	var tracer *obs.Tracer
+	if *httpAddr != "" || *traceOut != "" {
+		tracer = native.NewTracer(*traceCap)
+	}
+	latency := obs.NewHistogram()
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efd-stress: -http: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "efd-stress: debug endpoint on http://%s/ (metrics, trace, debug/pprof)\n", ln.Addr())
+		srv := &http.Server{Handler: obs.DebugHandler(obs.DebugOptions{
+			Counters:   native.Metrics(),
+			Histograms: map[string]*obs.Histogram{"decision_latency_ns": latency},
+			Tracer:     tracer,
+		})}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+	}
 	rep, err := native.Stress(sc.Name, sc.Task, func(s int64) (native.Config, error) {
 		return sc.NativeConfig(s, *tick), nil
 	}, native.StressOptions{
@@ -88,10 +128,14 @@ func main() {
 		Seed:          *seed,
 		Pin:           *pin,
 		SnapshotEvery: *snapshot,
+		Tracer:        tracer,
+		Latency:       latency,
 		OnSnapshot: func(s native.SoakSnapshot) {
-			fmt.Fprintf(os.Stderr, "soak %8s  runs=%d ops=%d interval=%.0f ops/s goroutines=%d heap=%dMB\n",
+			d := s.CounterDelta
+			fmt.Fprintf(os.Stderr, "soak %8s  runs=%d ops=%d interval=%.0f ops/s goroutines=%d heap=%dMB pubs=%d wakeups=%d\n",
 				s.Elapsed.Round(time.Second), s.Runs, s.Ops, s.IntervalOpsPerSec,
-				s.Goroutines, s.HeapAlloc>>20)
+				s.Goroutines, s.HeapAlloc>>20,
+				d["advice_pub_coop"]+d["advice_pub_waker"]+d["advice_pub_tick"], d["notify_wake"])
 		},
 	})
 	if err != nil {
@@ -107,6 +151,19 @@ func main() {
 		}
 	} else {
 		fmt.Print(rep.Render())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tracer.Dump().WriteChrome(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efd-stress: -trace-out: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	leakErr := rep.LeakCheck()
 	if leakErr != nil {

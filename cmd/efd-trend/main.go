@@ -14,14 +14,20 @@
 //     against an earlier artifact; a report whose ops/sec fell below
 //     -min-frac of its baseline fails. Meant for like-for-like machines
 //     (local before/after runs, dedicated perf boxes).
-//   - Ceiling mode (-max-p50 / -max-p99): decision-latency percentiles must
-//     stay below the given ceilings. Each flag repeats; a value is either a
-//     bare duration (applies to every report) or "scenarioPrefix:duration"
-//     (applies to scenarios with that name prefix; the longest matching
-//     prefix wins). This is the latency analogue of -min-ops: ceilings sit
-//     far above a healthy run's percentiles so that only a regression class
-//     — event-driven advice collapsing back to tick-sampling stalls, a
-//     poll loop losing its wakeups — trips them.
+//   - Ceiling mode (-max-p50 / -max-p99 / -max-p999): decision-latency
+//     percentiles must stay below the given ceilings. Each flag repeats; a
+//     value is either a bare duration (applies to every report) or
+//     "scenarioPrefix:duration" (applies to scenarios with that name
+//     prefix; the longest matching prefix wins). This is the latency
+//     analogue of -min-ops: ceilings sit far above a healthy run's
+//     percentiles so that only a regression class — event-driven advice
+//     collapsing back to tick-sampling stalls, a poll loop losing its
+//     wakeups, a tail blowing out behind a starved waker — trips them.
+//
+// Reports both with and without the observability fields (counters,
+// histogram, p999) parse: a pre-observability artifact simply reports a
+// zero p999, so -max-p999 ceilings should only be pointed at artifacts
+// produced by a binary that emits them.
 //
 // Every mode also enforces the structural invariants: at least one report,
 // every report ran instances, and no report carries checker violations or
@@ -128,6 +134,7 @@ type checkOptions struct {
 	minFrac float64
 	maxP50  ceilingList
 	maxP99  ceilingList
+	maxP999 ceilingList
 }
 
 // checkReports runs every enabled check over the artifact's reports against
@@ -179,7 +186,9 @@ func checkReports(reps []*native.StressReport, base map[string]*native.StressRep
 		case opt.minOps > 0 && r.OpsPerSec < opt.minOps:
 			failf("%s: %.0f ops/sec below floor %.0f", r.Scenario, r.OpsPerSec, opt.minOps)
 		default:
-			if !latency(r, "p50", r.Latency.P50, opt.maxP50) || !latency(r, "p99", r.Latency.P99, opt.maxP99) {
+			if !latency(r, "p50", r.Latency.P50, opt.maxP50) ||
+				!latency(r, "p99", r.Latency.P99, opt.maxP99) ||
+				!latency(r, "p999", r.Latency.P999, opt.maxP999) {
 				continue
 			}
 			note := ""
@@ -219,6 +228,7 @@ func main() {
 	)
 	flag.Var(&opt.maxP50, "max-p50", "decision-latency p50 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
 	flag.Var(&opt.maxP99, "max-p99", "decision-latency p99 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
+	flag.Var(&opt.maxP999, "max-p999", "decision-latency p99.9 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "efd-trend: exactly one BENCH_native.json argument required")

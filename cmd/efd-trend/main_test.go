@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -17,6 +19,7 @@ func rep(scenario string, ops float64, p50, p99 time.Duration) *native.StressRep
 		Latency: native.LatencyStats{
 			P50:     p50,
 			P99:     p99,
+			P999:    p99,
 			Max:     p99,
 			Samples: 100,
 		},
@@ -137,6 +140,25 @@ func TestCheckReportsP99Ceiling(t *testing.T) {
 	}
 }
 
+func TestCheckReportsP999Ceiling(t *testing.T) {
+	r := rep("consensus/n=4/omega", 50000, 80*time.Microsecond, 400*time.Microsecond)
+	r.Latency.P999 = 600 * time.Millisecond
+	opt := checkOptions{maxP999: ceilings(t, "500ms")}
+	if n, _ := check([]*native.StressReport{r}, nil, opt); n != 1 {
+		t.Fatalf("p999 600ms vs ceiling 500ms: got %d failures, want 1", n)
+	}
+	// The p999 ceiling leaves p50/p99 alone and vice versa: the same report
+	// passes when only tighter p50/p99 ceilings than its values exist.
+	opt = checkOptions{
+		maxP50:  ceilings(t, "1ms"),
+		maxP99:  ceilings(t, "1ms"),
+		maxP999: ceilings(t, "800ms"),
+	}
+	if n, lines := check([]*native.StressReport{r}, nil, opt); n != 0 {
+		t.Fatalf("p999 600ms vs ceiling 800ms: %d failures: %v", n, lines)
+	}
+}
+
 func TestCheckReportsCeilingScoping(t *testing.T) {
 	// The slow scenario has no matching ceiling, so only the fast one is held
 	// to its number.
@@ -186,6 +208,62 @@ func TestCheckReportsStructural(t *testing.T) {
 	}
 	if n, _ := check(dup, nil, checkOptions{}); n != 1 {
 		t.Errorf("duplicate scenario: got %d failures, want 1", n)
+	}
+}
+
+// TestParseReportsSchemaTolerant pins that artifacts from before and after
+// the observability fields (counters, histogram, p999) were added both
+// parse: old baselines stay comparable and new artifacts don't break an old
+// checkout's trend job.
+func TestParseReportsSchemaTolerant(t *testing.T) {
+	old := `{
+  "scenario": "consensus/n=4/omega",
+  "workers": 2,
+  "runs": 10,
+  "decisions": 40,
+  "ops": 5000,
+  "elapsed_ns": 1000000000,
+  "ops_per_sec": 5000,
+  "violations": 0,
+  "undecided": 0,
+  "crashes": 0,
+  "latency": {"p50": 70000, "p90": 90000, "p99": 200000, "max": 400000, "samples": 40}
+}`
+	niu := `{
+  "scenario": "consensus/n=4/omega/advice=event",
+  "runs": 12,
+  "ops_per_sec": 6000,
+  "latency": {"p50": 70000, "p99": 200000, "p999": 350000, "max": 400000, "samples": 48},
+  "counters": {"advice_query": 12345, "decide": 48, "notify_wake": 99},
+  "histogram": {"count": 48, "sum": 4000000, "max": 400000,
+    "buckets": [{"lo": 65536, "hi": 73727, "n": 48}]}
+}`
+	path := filepath.Join(t.TempDir(), "BENCH_native.json")
+	if err := os.WriteFile(path, []byte(old+"\n"+niu+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := parseReports(path)
+	if err != nil {
+		t.Fatalf("parseReports: %v", err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reps))
+	}
+	if reps[0].Latency.P999 != 0 || reps[0].Counters != nil || reps[0].Histogram != nil {
+		t.Errorf("pre-observability report grew fields: %+v", reps[0])
+	}
+	if reps[1].Latency.P999 != 350*time.Microsecond {
+		t.Errorf("p999 = %v, want 350µs", reps[1].Latency.P999)
+	}
+	if reps[1].Counters["advice_query"] != 12345 {
+		t.Errorf("counters = %v, want advice_query 12345", reps[1].Counters)
+	}
+	if reps[1].Histogram == nil || reps[1].Histogram.Count != 48 {
+		t.Errorf("histogram = %+v, want count 48", reps[1].Histogram)
+	}
+	// Both shapes clear the structural checks together.
+	if n, lines := check(reps, nil, checkOptions{}); n != 0 {
+		t.Fatalf("mixed-schema artifact: %d failures: %v", n, lines)
 	}
 }
 

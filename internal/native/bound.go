@@ -45,6 +45,7 @@ func (b *boundRegs) Key(i int) string { return b.keys[i] }
 // Read performs one atomic read of slot i: prologue plus one cell load.
 func (b *boundRegs) Read(i int) sim.Value {
 	b.e.step()
+	b.e.m.Inc(cRegReadBound)
 	return b.cells[i].load()
 }
 
@@ -52,6 +53,7 @@ func (b *boundRegs) Read(i int) sim.Value {
 // come back without touching the heap regardless of magnitude.
 func (b *boundRegs) ReadInt(i int) (int, bool) {
 	b.e.step()
+	b.e.m.Inc(cRegReadTyped)
 	return b.cells[i].loadInt()
 }
 
@@ -61,6 +63,7 @@ func (b *boundRegs) ReadInt(i int) (int, bool) {
 // re-sweep; the bump is two uncontended atomics unless someone is parked.
 func (b *boundRegs) Write(i int, v sim.Value) {
 	b.e.step()
+	b.e.m.Inc(cRegWriteBound)
 	b.cells[i].store(v)
 	if b.e.r.wake {
 		b.e.r.notify.bump()
@@ -72,6 +75,7 @@ func (b *boundRegs) Write(i int, v sim.Value) {
 // Write.
 func (b *boundRegs) WriteInt(i int, x int) {
 	b.e.step()
+	b.e.m.Inc(cRegWriteTyped)
 	b.cells[i].storeInt(x)
 	if b.e.r.wake {
 		b.e.r.notify.bump()
@@ -86,6 +90,7 @@ func (b *boundRegs) WriteInt(i int, x int) {
 func (b *boundRegs) ReadMany(dst []sim.Value) []sim.Value {
 	b.e.ops += int64(len(b.cells)) - 1
 	b.e.step()
+	b.e.m.Inc(cRegCollectBound)
 	if len(dst) < len(b.cells) {
 		dst = make([]sim.Value, len(b.cells))
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wfadvice/internal/fdet"
+	"wfadvice/internal/obs"
 	"wfadvice/internal/sim"
 )
 
@@ -108,6 +109,13 @@ type fdService struct {
 	stop  chan struct{}
 	done  chan struct{}
 
+	// Observability. m counts publications by who performed them; tracer
+	// (nil unless the run is traced) records each publication as a
+	// TraceAdvice event stamped with the model time it served.
+	m      obs.Handle
+	tracer *obs.Tracer
+	runID  int64
+
 	// Event mode. th is nil when the history cannot enumerate transitions
 	// (the service then runs the tick fallback even if event was requested).
 	event  bool
@@ -125,6 +133,7 @@ func newFDService(c *clock, hist fdet.History, n int, mode AdviceMode, notify *n
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		notify: notify,
+		m:      newMetricsHandle(),
 	}
 	if mode == AdviceEvent {
 		if th, ok := hist.(fdet.TransitionHistory); ok {
@@ -145,6 +154,7 @@ func newFDService(c *clock, hist fdet.History, n int, mode AdviceMode, notify *n
 func (s *fdService) startService() {
 	if s.event {
 		s.publishLocked(0)
+		s.m.Inc(cAdvicePubTick) // the synchronous tick-0 publication
 		go s.runEvent()
 		return
 	}
@@ -197,7 +207,7 @@ func (s *fdService) runEvent() {
 			// transitions) and re-arm at tick cadence: the waker's cost is
 			// then capped at the tick sampler's, it stays stoppable, and
 			// queriers still get fresher advice cooperatively.
-			s.advance()
+			s.advance(true)
 			d = s.clock.tick
 		}
 		t := time.NewTimer(d)
@@ -217,16 +227,23 @@ func (s *fdService) maybeAdvance() {
 	if !s.event || int64(s.clock.now()) < s.nextT.Load() {
 		return
 	}
-	s.advance()
+	s.advance(false)
 }
 
 // advance publishes the advice at the current model time if a transition's
 // deadline has passed, schedules the next one, and wakes parked pollers.
-func (s *fdService) advance() {
+// byWaker attributes the publication: the background deadline sleeper vs a
+// cooperative querier that found the deadline passed.
+func (s *fdService) advance(byWaker bool) {
 	s.pubMu.Lock()
 	now := int64(s.clock.now())
 	if now >= s.nextT.Load() {
 		s.publishLocked(fdet.Time(now))
+		if byWaker {
+			s.m.Inc(cAdvicePubWaker)
+		} else {
+			s.m.Inc(cAdvicePubCoop)
+		}
 	}
 	s.pubMu.Unlock()
 }
@@ -251,6 +268,7 @@ func (s *fdService) publishLocked(t fdet.Time) {
 		}
 	}
 	s.nextT.Store(nt)
+	s.tracer.Emit(TraceAdvice, 0, s.runID, int64(t))
 	if s.notify != nil {
 		s.notify.bump()
 	}
@@ -272,6 +290,8 @@ func (s *fdService) sample() {
 		*p = v
 		s.cells[i].v.Store(p)
 	}
+	s.m.Inc(cAdvicePubTick)
+	s.tracer.Emit(TraceAdvice, 0, s.runID, int64(now))
 	if s.notify != nil {
 		s.notify.bump()
 	}

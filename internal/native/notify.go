@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wfadvice/internal/obs"
 )
 
 // notifier is the event-mode wakeup primitive shared by one Runtime: a
@@ -34,6 +36,7 @@ type notifier struct {
 	waiters atomic.Int32
 	mu      sync.Mutex
 	ch      chan struct{}
+	m       obs.Handle
 }
 
 func newNotifier() *notifier { return &notifier{ch: make(chan struct{})} }
@@ -43,6 +46,7 @@ func (n *notifier) current() uint64 { return n.epoch.Load() }
 
 // bump records a state change and wakes every parked waiter.
 func (n *notifier) bump() {
+	n.m.Inc(cNotifyBump)
 	n.epoch.Add(1)
 	if n.waiters.Load() == 0 {
 		return
@@ -69,10 +73,13 @@ func (n *notifier) await(seen uint64, timeout time.Duration) {
 		n.waiters.Add(-1)
 		return
 	}
+	n.m.Inc(cNotifyPark)
 	t := time.NewTimer(timeout)
 	select {
 	case <-ch:
+		n.m.Inc(cNotifyWake)
 	case <-t.C:
+		n.m.Inc(cNotifyTimeout)
 	}
 	t.Stop()
 	n.waiters.Add(-1)

@@ -25,6 +25,7 @@ import (
 
 	"wfadvice/internal/fdet"
 	"wfadvice/internal/ids"
+	"wfadvice/internal/obs"
 	"wfadvice/internal/sim"
 	"wfadvice/internal/vec"
 )
@@ -75,6 +76,15 @@ type Config struct {
 	// derive it from their known key shapes (in/i, cons/j/*, cell/a/s/*);
 	// zero means a small default and costs only map growth.
 	Registers int
+
+	// Tracer, if non-nil, records decision-lifecycle events (instance
+	// start, advice publications, epoch parks/wakes, decisions, crashes)
+	// into the lock-free ring; see NewTracer. Nil costs one predictable
+	// branch per emit site and nothing else.
+	Tracer *obs.Tracer
+	// RunID labels this instance's trace events (the stress harness
+	// passes its instance counter); meaningless without Tracer.
+	RunID int64
 
 	// Pin locks every process goroutine to its own OS thread
 	// (runtime.LockOSThread) for the duration of the run. With pinning the
@@ -154,6 +164,7 @@ type Runtime struct {
 	clock     *clock
 	fd        *fdService
 	notify    *notifier
+	m         obs.Handle
 	wake      bool // event mode: register writes bump the notifier
 	envs      []*Env
 	stopped   atomic.Bool
@@ -183,10 +194,13 @@ func New(cfg Config) (*Runtime, error) {
 		store:  newStore(cfg.Registers),
 		clock:  &clock{tick: cfg.Tick},
 		notify: newNotifier(),
+		m:      newMetricsHandle(),
 		wake:   cfg.Advice == AdviceEvent,
 		doneCh: make(chan struct{}),
 	}
+	r.notify.m = r.m
 	r.fd = newFDService(r.clock, cfg.History, cfg.NS, cfg.Advice, r.notify)
+	r.fd.tracer, r.fd.runID = cfg.Tracer, cfg.RunID
 	for i := 0; i < cfg.NC; i++ {
 		if cfg.Inputs[i] == nil {
 			continue
@@ -217,6 +231,7 @@ func (r *Runtime) addEnv(id ids.Proc, input sim.Value, body sim.Body) {
 		body:      body,
 		crashable: id.IsS(),
 		cache:     make(map[string]*cell),
+		m:         newMetricsHandle(),
 	}
 	r.envs = append(r.envs, e)
 	if id.IsC() {
@@ -235,6 +250,8 @@ func (r *Runtime) Run(budget time.Duration) *Result {
 	r.clock.start = time.Now()
 	r.fd.startService()
 	r.live.Store(int64(len(r.envs)))
+	r.m.Inc(cRunStart)
+	r.cfg.Tracer.Emit(TraceRunStart, 0, r.cfg.RunID, int64(len(r.envs)))
 	for _, e := range r.envs {
 		e := e
 		r.wg.Add(1)
@@ -247,6 +264,8 @@ func (r *Runtime) Run(budget time.Duration) *Result {
 				}
 				if x == errCrashed { //nolint:errorlint // sentinel identity
 					e.crashed = true
+					e.m.Inc(cCrashInject)
+					r.cfg.Tracer.Emit(TraceCrash, procCode(true, e.id.Index), r.cfg.RunID, int64(r.clock.now()))
 					return
 				}
 				if x != nil && x != errStopped { //nolint:errorlint // sentinel identity
@@ -292,6 +311,7 @@ func (r *Runtime) Run(budget time.Duration) *Result {
 	if reason == ReasonAllDecided && r.undecided.Load() != 0 {
 		reason = ReasonAllReturned
 	}
+	r.cfg.Tracer.Emit(TraceRunEnd, 0, r.cfg.RunID, int64(reason))
 	return r.result(reason)
 }
 
@@ -339,6 +359,9 @@ type Env struct {
 	input     sim.Value
 	body      sim.Body
 	crashable bool
+	// m is this process's pre-resolved metrics stripe; a bump is one
+	// atomic add (or one branch when metrics are disabled).
+	m obs.Handle
 	// The fields below are goroutine-local; the runtime reads them only
 	// after wg.Wait(), which orders the accesses.
 	cache    map[string]*cell
@@ -403,6 +426,7 @@ func (e *Env) HasDecided() bool { return e.decided }
 // Read performs one atomic register read.
 func (e *Env) Read(key string) sim.Value {
 	e.step()
+	e.m.Inc(cRegReadKeyed)
 	return e.cell(key).load()
 }
 
@@ -417,6 +441,7 @@ func (e *Env) Read(key string) sim.Value {
 func (e *Env) ReadMany(keys []string) []sim.Value {
 	e.ops += int64(len(keys)) - 1
 	e.step()
+	e.m.Inc(cRegCollectKeyed)
 	out := make([]sim.Value, len(keys))
 	for i, k := range keys {
 		out[i] = e.cell(k).load()
@@ -430,6 +455,7 @@ func (e *Env) ReadMany(keys []string) []sim.Value {
 // everything else is boxed exactly as before.
 func (e *Env) Write(key string, v sim.Value) {
 	e.step()
+	e.m.Inc(cRegWriteKeyed)
 	e.cell(key).store(v)
 	if e.r.wake {
 		e.r.notify.bump()
@@ -443,6 +469,7 @@ func (e *Env) QueryFD() sim.Value {
 		panic(fmt.Sprintf("native: C-process %v queried the failure detector", e.id))
 	}
 	e.step()
+	e.m.Inc(cAdviceQuery)
 	return e.r.fd.advice(e.id.Index)
 }
 
@@ -472,6 +499,17 @@ func (e *Env) AwaitEpoch(seen uint64) {
 	if e.crashable && e.r.cfg.Pattern.Crashed(e.id.Index, e.r.clock.now()) {
 		panic(errCrashed)
 	}
+	if t := e.r.cfg.Tracer; t != nil {
+		p := procCode(e.id.IsS(), e.id.Index)
+		t.Emit(TracePark, p, e.r.cfg.RunID, int64(seen))
+		e.r.notify.await(seen, awaitBackstop)
+		moved := int64(0)
+		if e.r.notify.current() != seen {
+			moved = 1
+		}
+		t.Emit(TraceWake, p, e.r.cfg.RunID, moved)
+		return
+	}
 	e.r.notify.await(seen, awaitBackstop)
 }
 
@@ -485,9 +523,11 @@ func (e *Env) Decide(v sim.Value) {
 		panic(fmt.Sprintf("native: %v decided twice", e.id))
 	}
 	e.step()
+	e.m.Inc(cDecide)
 	e.decided = true
 	e.decision = v
 	e.decideAt = e.r.clock.since()
+	e.r.cfg.Tracer.Emit(TraceDecide, procCode(false, e.id.Index), e.r.cfg.RunID, int64(e.decideAt))
 	if e.r.undecided.Add(-1) == 0 {
 		e.r.done()
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wfadvice/internal/obs"
 	"wfadvice/internal/sim"
 )
 
@@ -46,7 +47,11 @@ type cell struct {
 	packed atomic.Uint64
 	boxed  atomic.Pointer[sim.Value]
 	memo   atomic.Pointer[intBox]
-	_      pad
+	// m is the owning store's metrics stripe, for the slow-path counters
+	// (boxed stores, memo misses). Immutable after creation; the hot
+	// packed paths never touch it.
+	m obs.Handle
+	_ pad
 }
 
 // intBox memoizes the boxed form of one packed value. Instances are
@@ -84,6 +89,7 @@ func (c *cell) load() sim.Value {
 		// leaves the memo alone) or this load raced a concurrent writer.
 		// Box it once and publish the memo so subsequent generic reads of
 		// the unchanged value are free again.
+		c.m.Inc(cCellMemoMiss)
 		b := &intBox{u: u, v: int(int64(u) >> 1)}
 		c.memo.Store(b)
 		return b.v
@@ -121,6 +127,7 @@ func (c *cell) store(v sim.Value) {
 			return
 		}
 	}
+	c.m.Inc(cCellBoxedStore)
 	p := new(sim.Value)
 	*p = v
 	c.boxed.Store(p)
@@ -136,6 +143,7 @@ func (c *cell) storeInt(x int) {
 		c.packed.Store(u)
 		return
 	}
+	c.m.Inc(cCellBoxedStore)
 	p := new(sim.Value)
 	*p = x
 	c.boxed.Store(p)
@@ -158,6 +166,7 @@ type shard struct {
 // store is the sharded register table.
 type store struct {
 	shards [storeShards]shard
+	m      obs.Handle
 }
 
 // newStore builds a table pre-sized for about hint registers spread across
@@ -169,7 +178,7 @@ func newStore(hint int) *store {
 	if per < 4 {
 		per = 4
 	}
-	s := &store{}
+	s := &store{m: newMetricsHandle()}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*cell, per)
 	}
@@ -194,11 +203,12 @@ func shardOf(key string) uint32 {
 // lookup returns key's cell, allocating it on first touch. Only the key's
 // shard is locked.
 func (s *store) lookup(key string) *cell {
+	s.m.Inc(cStoreShardLookup)
 	sh := &s.shards[shardOf(key)]
 	sh.mu.Lock()
 	c := sh.m[key]
 	if c == nil {
-		c = new(cell)
+		c = &cell{m: s.m}
 		sh.m[key] = c
 	}
 	sh.mu.Unlock()

@@ -3,10 +3,10 @@ package native
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
+	"wfadvice/internal/obs"
 	"wfadvice/internal/task"
 )
 
@@ -14,11 +14,9 @@ import (
 // the native benchmarks: a pool of workers runs back-to-back native
 // instances of one scenario until a wall-clock deadline, every instance is
 // checked post hoc, and the aggregate is reported as throughput, decision
-// latency percentiles and checker verdicts.
-
-// maxLatencySamples bounds the retained decision-latency samples; beyond it
-// the percentile base stops growing but counters keep counting.
-const maxLatencySamples = 1 << 20
+// latency percentiles (from an online log-bucketed histogram — bounded
+// memory no matter how long the run, see obs.Histogram) and checker
+// verdicts, plus the native counter deltas the run generated.
 
 // StressOptions configures a stress run.
 type StressOptions struct {
@@ -59,6 +57,15 @@ type StressOptions struct {
 	// OnSnapshot, if non-nil, observes each snapshot as it is taken (the
 	// efd-stress live progress line).
 	OnSnapshot func(SoakSnapshot)
+	// Tracer, if non-nil, records every instance's decision lifecycle into
+	// the shared ring (runs are distinguished by RunID = the instance
+	// counter). Nil traces nothing at zero cost.
+	Tracer *obs.Tracer
+	// Latency, if non-nil, is the histogram decision latencies are recorded
+	// into; the harness allocates its own when nil. Passing one in lets the
+	// caller (the efd-stress debug endpoint) observe percentiles live while
+	// the run is still going.
+	Latency *obs.Histogram
 }
 
 // workers sizes the pool: explicit Workers wins; otherwise instances are
@@ -102,13 +109,21 @@ type SoakSnapshot struct {
 	Goroutines        int     `json:"goroutines"`
 	HeapAlloc         uint64  `json:"heap_alloc"`
 	HeapObjects       uint64  `json:"heap_objects"`
+	// CounterDelta holds the native counters that moved during this
+	// snapshot's interval (zeros omitted) — the live "is advice still
+	// publishing, are parked pollers still waking" signal on the progress
+	// line.
+	CounterDelta map[string]int64 `json:"counter_delta,omitempty"`
 }
 
-// LatencyStats summarizes decision latencies.
+// LatencyStats summarizes decision latencies. The percentiles come from the
+// log-bucketed histogram, so each is exact to within its bucket's ±12.5%
+// relative resolution; Max and Samples are exact.
 type LatencyStats struct {
 	P50     time.Duration `json:"p50"`
 	P90     time.Duration `json:"p90"`
 	P99     time.Duration `json:"p99"`
+	P999    time.Duration `json:"p999"`
 	Max     time.Duration `json:"max"`
 	Samples int           `json:"samples"`
 }
@@ -132,6 +147,14 @@ type StressReport struct {
 	Errors     []string     `json:"errors,omitempty"` // first few checker messages
 	// Snapshots is the soak series (StressOptions.SnapshotEvery > 0 only).
 	Snapshots []SoakSnapshot `json:"snapshots,omitempty"`
+	// Counters holds the native counter deltas attributable to this run
+	// (process-wide snapshot at end minus start; zeros omitted). Absent in
+	// reports produced before the counters existed — consumers
+	// (efd-trend) must tolerate the field missing.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Histogram is the full decision-latency bucket distribution backing
+	// Latency, for offline re-aggregation. Omitted when empty.
+	Histogram *obs.HistSnapshot `json:"histogram,omitempty"`
 }
 
 // LeakCheck audits a soak series for monotone resource growth: it compares
@@ -164,9 +187,9 @@ func (r *StressReport) Render() string {
 	if r.Violations > 0 || r.Undecided > 0 {
 		verdict = fmt.Sprintf("FAIL (%d violations, %d undecided)", r.Violations, r.Undecided)
 	}
-	s := fmt.Sprintf("scenario:   %s\nworkers:    %d\nruns:       %d\ndecisions:  %d\nops:        %d\nops/sec:    %.0f\nlatency:    p50=%v p90=%v p99=%v max=%v (%d samples)\ncrashes:    %d\nchecker:    %s\n",
+	s := fmt.Sprintf("scenario:   %s\nworkers:    %d\nruns:       %d\ndecisions:  %d\nops:        %d\nops/sec:    %.0f\nlatency:    p50=%v p90=%v p99=%v p999=%v max=%v (%d samples)\ncrashes:    %d\nchecker:    %s\n",
 		r.Scenario, r.Workers, r.Runs, r.Decisions, r.Ops, r.OpsPerSec,
-		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max, r.Latency.Samples,
+		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999, r.Latency.Max, r.Latency.Samples,
 		r.Crashes, verdict)
 	for _, e := range r.Errors {
 		s += "error:      " + e + "\n"
@@ -185,10 +208,14 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 	workers := opt.workers()
 	budget := opt.runBudget()
 	rep := &StressReport{Scenario: name, Workers: workers}
+	hist := opt.Latency
+	if hist == nil {
+		hist = obs.NewHistogram()
+	}
+	startCounters := MetricsSnapshot()
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		next      int64 // instance counter, guarded by mu
+		mu   sync.Mutex
+		next int64 // instance counter, guarded by mu
 	)
 	var firstErr error
 	start := time.Now()
@@ -210,6 +237,7 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 			defer ticker.Stop()
 			var lastOps int64
 			var lastAt time.Duration
+			lastCounters := startCounters
 			for {
 				select {
 				case <-monitorDone:
@@ -218,12 +246,15 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 				}
 				var ms runtime.MemStats
 				runtime.ReadMemStats(&ms)
+				now := MetricsSnapshot()
 				snap := SoakSnapshot{
-					Elapsed:     time.Since(start),
-					Goroutines:  runtime.NumGoroutine(),
-					HeapAlloc:   ms.HeapAlloc,
-					HeapObjects: ms.HeapObjects,
+					Elapsed:      time.Since(start),
+					Goroutines:   runtime.NumGoroutine(),
+					HeapAlloc:    ms.HeapAlloc,
+					HeapObjects:  ms.HeapObjects,
+					CounterDelta: now.Delta(lastCounters).Map(),
 				}
+				lastCounters = now
 				mu.Lock()
 				snap.Runs, snap.Ops = rep.Runs, rep.Ops
 				if dt := (snap.Elapsed - lastAt).Seconds(); dt > 0 {
@@ -272,6 +303,8 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 				if opt.Pin {
 					cfg.Pin = true
 				}
+				cfg.Tracer = opt.Tracer
+				cfg.RunID = r
 				var rt *Runtime
 				if err == nil {
 					rt, err = New(cfg)
@@ -285,6 +318,9 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 					return
 				}
 				res := rt.Run(budget)
+				for _, l := range res.Latency {
+					hist.Observe(int64(l))
+				}
 				verr := CheckDelta(t, res)
 				derr := CheckDecided(res)
 				mu.Lock()
@@ -303,11 +339,6 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 						rep.Errors = append(rep.Errors, derr.Error())
 					}
 				}
-				if len(latencies) < maxLatencySamples {
-					for _, l := range res.Latency {
-						latencies = append(latencies, l)
-					}
-				}
 				mu.Unlock()
 			}
 		}()
@@ -322,22 +353,25 @@ func Stress(name string, t task.Task, mk func(seed int64) (Config, error), opt S
 	if s := rep.Elapsed.Seconds(); s > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / s
 	}
-	rep.Latency = summarize(latencies)
+	hs := hist.Snapshot()
+	rep.Latency = summarize(hs)
+	if hs.Count > 0 {
+		rep.Histogram = hs
+	}
+	rep.Counters = MetricsSnapshot().Delta(startCounters).Map()
 	return rep, nil
 }
 
-// summarize computes latency percentiles over the retained samples.
-func summarize(ls []time.Duration) LatencyStats {
-	st := LatencyStats{Samples: len(ls)}
-	if len(ls) == 0 {
+// summarize derives the latency percentiles from a histogram snapshot.
+func summarize(hs *obs.HistSnapshot) LatencyStats {
+	st := LatencyStats{Samples: int(hs.Count)}
+	if hs.Count == 0 {
 		return st
 	}
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-	at := func(q float64) time.Duration {
-		i := int(q * float64(len(ls)-1))
-		return ls[i]
-	}
-	st.P50, st.P90, st.P99 = at(0.50), at(0.90), at(0.99)
-	st.Max = ls[len(ls)-1]
+	st.P50 = time.Duration(hs.Quantile(0.50))
+	st.P90 = time.Duration(hs.Quantile(0.90))
+	st.P99 = time.Duration(hs.Quantile(0.99))
+	st.P999 = time.Duration(hs.Quantile(0.999))
+	st.Max = time.Duration(hs.Max)
 	return st
 }

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// This file is the live debug endpoint behind `efd-stress -http`: one
+// http.Handler that serves the whole observability surface while a
+// workload runs — Prometheus-text /metrics (counters, histograms, runtime
+// gauges), /trace ring dumps (raw JSON or Chrome trace format), the full
+// net/http/pprof suite for profiling a stress run in flight, and expvar.
+
+// DebugOptions configures DebugHandler. Every field is optional; nil
+// sources simply don't serve.
+type DebugOptions struct {
+	// Counters is the counter set to export; each counter serializes as
+	// <Prefix>_<name>_total.
+	Counters *Counters
+	// Histograms maps a metric base name (e.g. "decision_latency_ns") to
+	// a live histogram, exported in the Prometheus histogram convention
+	// (cumulative _bucket series plus _sum and _count).
+	Histograms map[string]*Histogram
+	// Tracer, if set, serves /trace dumps.
+	Tracer *Tracer
+	// Gauges, if set, contributes extra point-in-time series (reported as
+	// <Prefix>_<name>, no _total suffix).
+	Gauges func() map[string]int64
+	// Prefix is the metric namespace; empty means "wfadvice".
+	Prefix string
+}
+
+func (o DebugOptions) prefix() string {
+	if o.Prefix == "" {
+		return "wfadvice"
+	}
+	return o.Prefix
+}
+
+// expvarOnce guards the process-global expvar publication (expvar.Publish
+// panics on duplicate names, and tests build multiple handlers).
+var expvarOnce sync.Once
+
+// DebugHandler builds the live debug endpoint:
+//
+//	/metrics       Prometheus text: counters, histograms, runtime gauges
+//	/trace         tracer ring dump (JSON; ?format=chrome for trace viewers)
+//	/debug/pprof/  the standard pprof index, profiles and symbolization
+//	/debug/vars    expvar (includes the counter snapshot)
+func DebugHandler(o DebugOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, o)
+	})
+	if o.Tracer != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			d := o.Tracer.Dump()
+			w.Header().Set("Content-Type", "application/json")
+			if r.URL.Query().Get("format") == "chrome" {
+				_ = d.WriteChrome(w)
+				return
+			}
+			_ = d.WriteJSON(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if o.Counters != nil {
+		c := o.Counters
+		expvarOnce.Do(func() {
+			expvar.Publish("wfadvice_counters", expvar.Func(func() any {
+				return c.Snapshot().Map()
+			}))
+		})
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// writeMetrics renders the Prometheus text exposition.
+func writeMetrics(w http.ResponseWriter, o DebugOptions) {
+	p := o.prefix()
+	if o.Counters != nil {
+		s := o.Counters.Snapshot()
+		names := s.Names()
+		for i, name := range names {
+			fmt.Fprintf(w, "# TYPE %s_%s_total counter\n", p, name)
+			fmt.Fprintf(w, "%s_%s_total %d\n", p, name, s.Get(CounterID(i)))
+		}
+	}
+	histNames := make([]string, 0, len(o.Histograms))
+	for name := range o.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		s := o.Histograms[name].Snapshot()
+		fmt.Fprintf(w, "# TYPE %s_%s histogram\n", p, name)
+		cum := int64(0)
+		for _, b := range s.Buckets {
+			cum += b.N
+			fmt.Fprintf(w, "%s_%s_bucket{le=\"%d\"} %d\n", p, name, b.Hi, cum)
+		}
+		fmt.Fprintf(w, "%s_%s_bucket{le=\"+Inf\"} %d\n", p, name, s.Count)
+		fmt.Fprintf(w, "%s_%s_sum %d\n", p, name, s.Sum)
+		fmt.Fprintf(w, "%s_%s_count %d\n", p, name, s.Count)
+	}
+	if o.Tracer != nil {
+		d := o.Tracer.Dump()
+		fmt.Fprintf(w, "# TYPE %s_trace_emitted_total counter\n", p)
+		fmt.Fprintf(w, "%s_trace_emitted_total %d\n", p, d.Emitted)
+		var drops int64
+		for _, n := range d.Drops {
+			drops += n
+		}
+		fmt.Fprintf(w, "# TYPE %s_trace_dropped_total counter\n", p)
+		fmt.Fprintf(w, "%s_trace_dropped_total %d\n", p, drops)
+	}
+	gauges := map[string]int64{
+		"goroutines": int64(runtime.NumGoroutine()),
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauges["heap_alloc_bytes"] = int64(ms.HeapAlloc)
+	gauges["heap_objects"] = int64(ms.HeapObjects)
+	if o.Gauges != nil {
+		for k, v := range o.Gauges() {
+			gauges[k] = v
+		}
+	}
+	gaugeNames := make([]string, 0, len(gauges))
+	for k := range gauges {
+		gaugeNames = append(gaugeNames, k)
+	}
+	sort.Strings(gaugeNames)
+	for _, k := range gaugeNames {
+		fmt.Fprintf(w, "# TYPE %s_%s gauge\n", p, k)
+		fmt.Fprintf(w, "%s_%s %d\n", p, k, gauges[k])
+	}
+}

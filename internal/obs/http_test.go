@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func debugFixture() (DebugOptions, Handle) {
+	c := NewCounters([]string{"reg_read", "advice_query"})
+	h := c.Handle()
+	hist := NewHistogram()
+	hist.Observe(1000)
+	hist.Observe(2000)
+	tr := NewTracer(16, traceKinds)
+	tr.Emit(0, 1, 1, 0)
+	return DebugOptions{
+		Counters:   c,
+		Histograms: map[string]*Histogram{"decision_latency_ns": hist},
+		Tracer:     tr,
+		Gauges:     func() map[string]int64 { return map[string]int64{"workers": 4} },
+	}, h
+}
+
+func TestDebugHandlerMetrics(t *testing.T) {
+	opt, h := debugFixture()
+	h.Add(0, 12)
+	h.Inc(1)
+	srv := httptest.NewServer(DebugHandler(opt))
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"wfadvice_reg_read_total 12",
+		"wfadvice_advice_query_total 1",
+		"wfadvice_decision_latency_ns_bucket{le=\"+Inf\"} 2",
+		"wfadvice_decision_latency_ns_count 2",
+		"wfadvice_decision_latency_ns_sum 3000",
+		"wfadvice_trace_emitted_total 1",
+		"wfadvice_goroutines",
+		"wfadvice_heap_alloc_bytes",
+		"wfadvice_workers 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugHandlerTrace(t *testing.T) {
+	opt, _ := debugFixture()
+	srv := httptest.NewServer(DebugHandler(opt))
+	defer srv.Close()
+
+	var d TraceDump
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/trace")), &d); err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	if len(d.Events) != 1 || d.Events[0].Kind != "start" {
+		t.Errorf("/trace dump = %+v, want one start event", d)
+	}
+
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/trace?format=chrome")), &chrome); err != nil {
+		t.Fatalf("/trace?format=chrome: %v", err)
+	}
+	if len(chrome.TraceEvents) != 1 {
+		t.Errorf("chrome trace has %d events, want 1", len(chrome.TraceEvents))
+	}
+}
+
+func TestDebugHandlerPprofAndVars(t *testing.T) {
+	opt, _ := debugFixture()
+	srv := httptest.NewServer(DebugHandler(opt))
+	defer srv.Close()
+	if body := get(t, srv.URL+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ does not list profiles")
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	if _, ok := vars["wfadvice_counters"]; !ok {
+		t.Error("/debug/vars missing the wfadvice_counters publication")
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}

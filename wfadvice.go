@@ -319,6 +319,12 @@ var (
 	NativeCheckDecided = native.CheckDecided
 	// NativeStress hammers one scenario with back-to-back native instances.
 	NativeStress = native.Stress
+	// NativeEnableMetrics gates the native backend's runtime counters for
+	// runtimes built after the call (handles resolve at construction);
+	// NativeMetricsSnapshot reads the process-wide totals. The stubbed mode
+	// exists for the instrumented-vs-stubbed overhead benchmarks.
+	NativeEnableMetrics   = native.EnableMetrics
+	NativeMetricsSnapshot = native.MetricsSnapshot
 	// NewScenario builds a backend-independent scenario; DetectorByName
 	// resolves a detector family for CLI use.
 	NewScenario    = core.NewScenario
