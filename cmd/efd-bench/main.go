@@ -10,18 +10,32 @@
 // Usage:
 //
 //	efd-bench [-only E5,E7] [-list] [-parallel N] [-seed S] [-trials M]
-//	          [-timeout D] [-short] [-json]
+//	          [-timeout D] [-short] [-json] [-http ADDR] [-progress D]
+//
+// -http serves the live debug endpoint while the regeneration runs:
+// /metrics (Prometheus text: the engine and sim counter taxonomies, the
+// per-cell wall-time histogram, worker-utilization gauges), /progress
+// (cells done/planned and an ETA as JSON), /debug/pprof/* and
+// /debug/vars. -progress prints a heartbeat line to stderr every
+// interval — cells completed, interval cells/sec, active workers, ETA —
+// in the same tagged k=v shape as `efd-stress -snapshot`. Neither flag
+// changes trial execution or the tables: telemetry is strictly outside
+// exp.Table, and the heartbeat goes to stderr so -json stdout stays pure.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"wfadvice/internal/exp"
+	"wfadvice/internal/obs"
+	"wfadvice/internal/sim"
 )
 
 // expReport is the -json record for one experiment.
@@ -53,6 +67,8 @@ func main() {
 		short    = flag.Bool("short", false, "use the reduced -short experiment grids")
 		jsonOut  = flag.Bool("json", false, "emit tables as JSON on stdout instead of text")
 		skipMeas = flag.Bool("skip-measured", false, "skip experiments whose rows contain wall-clock measurements (for byte-level determinism checks)")
+		httpAddr = flag.String("http", "", "serve the live debug endpoint (/metrics, /progress, /debug/pprof) on this address for the duration of the run")
+		progress = flag.Duration("progress", 0, "emit a progress heartbeat to stderr every interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -95,6 +111,33 @@ func main() {
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// planned is the ETA denominator: the cells the selected experiments
+	// will generate under these options, counted up front.
+	planned := exp.PlanCells(experiments, eng.Options())
+	benchStart := time.Now()
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efd-bench: -http: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "efd-bench: debug endpoint on http://%s/ (metrics, progress, debug/pprof)\n", ln.Addr())
+		srv := &http.Server{Handler: obs.DebugHandler(obs.DebugOptions{
+			Counters:     exp.Metrics(),
+			MoreCounters: []*obs.Counters{sim.Metrics()},
+			Histograms:   map[string]*obs.Histogram{"exp_cell_latency_ns": exp.CellLatency()},
+			Gauges:       exp.ProgressGauges,
+			Progress:     func() any { return progressDoc(benchStart, planned) },
+		})}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+	}
+	if *progress > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go progressLoop(*progress, planned, stop)
 	}
 	rep := report{Seed: *seed, Parallelism: workers, Trials: *trials, Short: *short}
 	var slowest expReport
@@ -139,5 +182,61 @@ func main() {
 		len(rep.Experiments), rep.Failures, rep.WallMS/1000, slowestID, *seed, workers)
 	if rep.Failures > 0 {
 		os.Exit(1)
+	}
+}
+
+// eta estimates the time left from overall progress; zero when done or
+// not yet computable.
+func eta(done, planned int64, elapsed time.Duration) time.Duration {
+	if done <= 0 || planned <= done {
+		return 0
+	}
+	rate := float64(done) / elapsed.Seconds()
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(planned-done) / rate * float64(time.Second))
+}
+
+// progressDoc assembles the /progress JSON payload: cell progress, the
+// overall ETA, and the engine gauges.
+func progressDoc(start time.Time, planned int) any {
+	m := exp.MetricsSnapshot().Map()
+	g := exp.ProgressGauges()
+	elapsed := time.Since(start)
+	done := m["exp_cell"]
+	return map[string]any{
+		"elapsed_s":        elapsed.Seconds(),
+		"cells_done":       done,
+		"cells_planned":    planned,
+		"cell_failures":    m["exp_cell_fail"],
+		"cell_timeouts":    m["exp_cell_timeout"],
+		"experiments_done": m["exp_experiment"],
+		"workers_active":   g["exp_workers_active"],
+		"eta_s":            eta(done, int64(planned), elapsed).Seconds(),
+	}
+}
+
+// progressLoop prints one heartbeat line per interval to stderr, in the
+// `efd-stress -snapshot` shape: a tag, rounded elapsed time, then k=v
+// fields mixing cumulative progress, the interval rate, and the ETA.
+func progressLoop(interval time.Duration, planned int, stop <-chan struct{}) {
+	s := obs.NewSampler(exp.Metrics())
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		w := s.Sample()
+		done := w.Total.Map()["exp_cell"]
+		g := exp.ProgressGauges()
+		fmt.Fprintf(os.Stderr,
+			"bench %8s  cells=%d/%d interval=%.1f cells/s active=%d eta=%s\n",
+			w.Elapsed.Round(time.Second), done, planned,
+			w.Rates()["exp_cell"], g["exp_workers_active"],
+			eta(done, int64(planned), w.Elapsed).Round(time.Second))
 	}
 }

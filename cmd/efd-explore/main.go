@@ -9,6 +9,18 @@
 //	efd-explore -task strongrename -idle-s 2 -mode random -shrink   # random witness, minimized
 //	efd-explore -task strongrename -depth 12 -trace-out w.trace     # record the witness
 //	efd-explore -replay w.trace                                     # verify a recording
+//	efd-explore -task kset -n 3 -k 1 -depth 20 -http 127.0.0.1:9191 # live telemetry
+//	efd-explore -task kset -n 3 -k 1 -depth 20 -progress 2s         # stderr heartbeat
+//
+// -http serves the live debug endpoint while the search runs: /metrics
+// (Prometheus text: the explorer and sim counter taxonomies, the
+// node-depth histogram, frontier/sweep/item gauges), /progress (a compact
+// JSON progress document), /debug/pprof/* and /debug/vars. -progress
+// prints a heartbeat line to stderr every interval — nodes replayed,
+// interval nodes/sec, frontier depth, prune counters and work-item
+// progress — in the same tagged k=v shape as `efd-stress -snapshot`.
+// Neither flag changes the search or the report: telemetry is strictly
+// outside explore.Report.
 //
 // Exit codes: 0 on success, 1 when -expect mismatches the violation count,
 // when no violation is found, or when a replay diverges; 2 on bad flags.
@@ -18,12 +30,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"wfadvice/internal/explore"
 	"wfadvice/internal/ids"
+	"wfadvice/internal/obs"
+	"wfadvice/internal/sim"
 	"wfadvice/internal/wfree"
 )
 
@@ -119,6 +136,8 @@ func main() {
 		replay   = flag.String("replay", "", "replay a recorded trace file and verify the verdict")
 		expect   = flag.Int("expect", -1, "fail unless the violation count equals this (-1 = no check)")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable report on stdout")
+		httpAddr = flag.String("http", "", "serve the live debug endpoint (/metrics, /progress, /debug/pprof) on this address for the duration of the search")
+		progress = flag.Duration("progress", 0, "emit a progress heartbeat to stderr every interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -135,6 +154,30 @@ func main() {
 	}
 	if !found {
 		badFlag("mode", *mode, modeNames)
+	}
+
+	start := time.Now()
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efd-explore: -http: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "efd-explore: debug endpoint on http://%s/ (metrics, progress, debug/pprof)\n", ln.Addr())
+		srv := &http.Server{Handler: obs.DebugHandler(obs.DebugOptions{
+			Counters:     explore.Metrics(),
+			MoreCounters: []*obs.Counters{sim.Metrics()},
+			Histograms:   map[string]*obs.Histogram{"explore_node_depth": explore.NodeDepths()},
+			Gauges:       explore.ProgressGauges,
+			Progress:     func() any { return progressDoc(start) },
+		})}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+	}
+	if *progress > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go progressLoop(*progress, stop)
 	}
 
 	if *replay != "" {
@@ -258,6 +301,57 @@ type witness struct {
 	schedule []ids.Proc
 	trace    *explore.Trace
 	err      string
+}
+
+// progressDoc assembles the /progress JSON payload: cumulative explorer
+// and sim counters plus the live gauges.
+func progressDoc(start time.Time) any {
+	x := explore.MetricsSnapshot().Map()
+	s := sim.MetricsSnapshot().Map()
+	g := explore.ProgressGauges()
+	return map[string]any{
+		"elapsed_s":      time.Since(start).Seconds(),
+		"nodes":          x["explore_node"],
+		"sim_steps":      s["sim_step"],
+		"terminals":      x["explore_terminal"],
+		"dedup_hits":     x["explore_dedup_hit"],
+		"sleep_prunes":   x["explore_sleep_prune"],
+		"violations":     x["explore_violation"],
+		"sweeps":         x["explore_sweep"],
+		"frontier_depth": g["explore_frontier_depth"],
+		"sweep_depth":    g["explore_sweep_depth"],
+		"items_done":     g["explore_items_done"],
+		"items_total":    g["explore_items_total"],
+		"shrink_len":     g["explore_shrink_len"],
+		"shrink_runs":    x["explore_shrink_run"],
+	}
+}
+
+// progressLoop prints one heartbeat line per interval to stderr, in the
+// `efd-stress -snapshot` shape: a tag, rounded elapsed time, then k=v
+// fields mixing cumulative counters, the interval rate, and live gauges.
+func progressLoop(interval time.Duration, stop <-chan struct{}) {
+	xs := obs.NewSampler(explore.Metrics())
+	ss := obs.NewSampler(sim.Metrics())
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		xw := xs.Sample()
+		sw := ss.Sample()
+		xt := xw.Total.Map()
+		g := explore.ProgressGauges()
+		fmt.Fprintf(os.Stderr,
+			"explore %8s  nodes=%d steps=%d interval=%.0f nodes/s frontier=%d depth=%d dedup=%d sleep=%d items=%d/%d\n",
+			xw.Elapsed.Round(time.Second), xt["explore_node"], sw.Total.Map()["sim_step"],
+			xw.Rates()["explore_node"], g["explore_frontier_depth"], g["explore_sweep_depth"],
+			xt["explore_dedup_hit"], xt["explore_sleep_prune"],
+			g["explore_items_done"], g["explore_items_total"])
+	}
 }
 
 func runReplay(path string, jsonOut bool) int {

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"wfadvice/internal/native"
+)
+
+// This file is the cross-run trend gate: BENCH_history.jsonl is an
+// append-only log of per-scenario summary lines carried across CI runs
+// (one JSON object per line — cheap to append in shell, tolerant of
+// concatenation, diffable). Where -baseline compares two artifacts
+// point-to-point, -history looks at the last -history-window entries per
+// scenario and fails only a SUSTAINED regression: every entry in the
+// window (including the current artifact) below -history-frac of the best
+// run just before the window. One noisy runner can't trip it, and one
+// lucky run can't hide a real cliff.
+
+// historyEntry is one BENCH_history.jsonl line: the per-scenario summary
+// of one CI run. Unknown fields are ignored on parse, so the format can
+// grow; absent fields zero, so old lines keep parsing.
+type historyEntry struct {
+	TS        string  `json:"ts"`
+	Scenario  string  `json:"scenario"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50NS     int64   `json:"p50_ns,omitempty"`
+	P99NS     int64   `json:"p99_ns,omitempty"`
+	P999NS    int64   `json:"p999_ns,omitempty"`
+	Runs      int64   `json:"runs,omitempty"`
+}
+
+// parseHistory reads a history file. A missing file is an empty history
+// (the first CI run starts the log); a malformed line is an input error —
+// the caller exits 2, the same class as a malformed artifact.
+func parseHistory(path string) ([]historyEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []historyEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e historyEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed history line: %v", path, line, err)
+		}
+		if e.Scenario == "" {
+			return nil, fmt.Errorf("%s:%d: history line without a scenario", path, line)
+		}
+		if e.OpsPerSec <= 0 {
+			return nil, fmt.Errorf("%s:%d: history line with non-positive ops_per_sec", path, line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return out, nil
+}
+
+// appendHistory appends one summary line per report to the history file,
+// creating it if needed.
+func appendHistory(path string, reps []*native.StressReport) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ts := time.Now().UTC().Format(time.RFC3339)
+	for _, r := range reps {
+		e := historyEntry{
+			TS:        ts,
+			Scenario:  r.Scenario,
+			OpsPerSec: r.OpsPerSec,
+			P50NS:     r.Latency.P50.Nanoseconds(),
+			P99NS:     r.Latency.P99.Nanoseconds(),
+			P999NS:    r.Latency.P999.Nanoseconds(),
+			Runs:      int64(r.Runs),
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkHistory gates each report's ops/sec against the scenario's recent
+// trajectory and returns the number of failed checks. For a scenario, the
+// sequence is its history entries in file (= chronological) order plus
+// the current report. The check needs at least window+1 points — a window
+// of candidates and at least one run before it to regress from;
+// scenarios younger than that pass. The reference is the best run among
+// the up-to-window entries just before the window (recent peak, not
+// all-time: a deliberately accepted slowdown ages out of the gate after
+// window more runs). The gate fails only when EVERY window entry,
+// current run included, is below frac of that reference.
+func checkHistory(reps []*native.StressReport, hist []historyEntry, window int, frac float64, logf func(format string, a ...any)) int {
+	failures := 0
+	perScenario := make(map[string][]float64)
+	for _, e := range hist {
+		perScenario[e.Scenario] = append(perScenario[e.Scenario], e.OpsPerSec)
+	}
+	// Scenarios in the history but absent from the artifact are already
+	// covered by the structural duplicate/missing checks against -baseline;
+	// the history gate only judges scenarios the current artifact ran.
+	names := make([]string, 0, len(reps))
+	cur := make(map[string]float64, len(reps))
+	for _, r := range reps {
+		if _, ok := cur[r.Scenario]; !ok {
+			names = append(names, r.Scenario)
+		}
+		cur[r.Scenario] = r.OpsPerSec
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		seq := append(append([]float64(nil), perScenario[name]...), cur[name])
+		if len(seq) < window+1 {
+			logf("ok    %s: history has %d/%d runs, trend gate not yet active", name, len(seq), window+1)
+			continue
+		}
+		tail := seq[len(seq)-window:]
+		before := seq[:len(seq)-window]
+		if len(before) > window {
+			before = before[len(before)-window:]
+		}
+		ref := 0.0
+		for _, v := range before {
+			if v > ref {
+				ref = v
+			}
+		}
+		if ref <= 0 {
+			continue
+		}
+		sustained := true
+		worst := tail[0]
+		for _, v := range tail {
+			if v >= frac*ref {
+				sustained = false
+			}
+			if v < worst {
+				worst = v
+			}
+		}
+		if sustained {
+			failures++
+			logf("FAIL  %s: last %d runs all below %.2fx of recent peak %.0f ops/sec (worst %.0f)",
+				name, window, frac, ref, worst)
+			continue
+		}
+		logf("ok    %s: trend over last %d runs holds above %.2fx of recent peak %.0f ops/sec",
+			name, window, frac, ref)
+	}
+	return failures
+}

@@ -4,7 +4,7 @@
 // job — and fails on structural problems, large ops/sec regressions, or
 // decision-latency ceilings being exceeded.
 //
-// Three modes, combinable:
+// Four modes, combinable:
 //
 //   - Floor mode (-min-ops): every report must show at least the given
 //     ops/sec. CI uses a floor far below any healthy runner's numbers, so
@@ -23,6 +23,15 @@
 //     percentiles so that only a regression class — event-driven advice
 //     collapsing back to tick-sampling stalls, a poll loop losing its
 //     wakeups, a tail blowing out behind a starved waker — trips them.
+//   - History mode (-history): reports are gated against BENCH_history.jsonl,
+//     an append-only log of per-scenario summary lines carried across CI
+//     runs. A scenario fails only when the last -history-window runs
+//     (current artifact included) ALL fall below -history-frac of the best
+//     run just before that window — a sustained regression; a single noisy
+//     run in either direction neither trips nor masks the gate. With
+//     -history-append, a fully passing run appends its own summary lines,
+//     growing the log for the next run. A malformed history line is an
+//     input error (exit 2), like a malformed artifact.
 //
 // Reports both with and without the observability fields (counters,
 // histogram, p999) parse: a pre-observability artifact simply reports a
@@ -39,6 +48,7 @@
 //	efd-trend -min-ops 50000 BENCH_native.json
 //	efd-trend -baseline old/BENCH_native.json -min-frac 0.25 BENCH_native.json
 //	efd-trend -max-p50 'consensus/n=4/omega/advice=event:15ms' -max-p99 250ms BENCH_native.json
+//	efd-trend -history BENCH_history.jsonl -history-append BENCH_native.json
 //
 // Exit status: 0 on pass, 1 on any failed check, 2 on bad flags or input.
 package main
@@ -222,9 +232,13 @@ func checkReports(reps []*native.StressReport, base map[string]*native.StressRep
 func main() {
 	var opt checkOptions
 	var (
-		minOps   = flag.Float64("min-ops", 0, "fail any report below this ops/sec floor (0 = skip)")
-		baseline = flag.String("baseline", "", "earlier BENCH_native.json to compare against (scenario-matched)")
-		minFrac  = flag.Float64("min-frac", 0.25, "with -baseline: fail a scenario below this fraction of its baseline ops/sec")
+		minOps     = flag.Float64("min-ops", 0, "fail any report below this ops/sec floor (0 = skip)")
+		baseline   = flag.String("baseline", "", "earlier BENCH_native.json to compare against (scenario-matched)")
+		minFrac    = flag.Float64("min-frac", 0.25, "with -baseline: fail a scenario below this fraction of its baseline ops/sec")
+		history    = flag.String("history", "", "BENCH_history.jsonl cross-run log to gate against (missing file = empty history)")
+		histWindow = flag.Int("history-window", 5, "with -history: runs that must ALL regress for the gate to fail")
+		histFrac   = flag.Float64("history-frac", 0.5, "with -history: fail a scenario whose whole window is below this fraction of the recent peak")
+		histAppend = flag.Bool("history-append", false, "with -history: append this artifact's summary lines when every check passes")
 	)
 	flag.Var(&opt.maxP50, "max-p50", "decision-latency p50 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
 	flag.Var(&opt.maxP99, "max-p99", "decision-latency p99 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
@@ -253,9 +267,25 @@ func main() {
 		}
 	}
 
-	failures := checkReports(reps, base, opt, func(format string, a ...any) {
+	logf := func(format string, a ...any) {
 		fmt.Printf(format+"\n", a...)
-	})
+	}
+	failures := checkReports(reps, base, opt, logf)
+	if *history != "" {
+		hist, err := parseHistory(*history)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efd-trend: %v\n", err)
+			os.Exit(2)
+		}
+		failures += checkHistory(reps, hist, *histWindow, *histFrac, logf)
+		if failures == 0 && *histAppend {
+			if err := appendHistory(*history, reps); err != nil {
+				fmt.Fprintf(os.Stderr, "efd-trend: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("efd-trend: appended %d summary lines to %s\n", len(reps), *history)
+		}
+	}
 	if failures > 0 {
 		fmt.Printf("efd-trend: %d failed checks over %d reports\n", failures, len(reps))
 		os.Exit(1)

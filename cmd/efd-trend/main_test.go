@@ -265,6 +265,35 @@ func TestParseReportsSchemaTolerant(t *testing.T) {
 	if n, lines := check(reps, nil, checkOptions{}); n != 0 {
 		t.Fatalf("mixed-schema artifact: %d failures: %v", n, lines)
 	}
+
+	// History lines parse alongside both report shapes: a minimal line
+	// (the format floor — ts, scenario, ops) and a full line as
+	// appendHistory writes today, plus an unknown field a future run
+	// might add.
+	histPath := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	lines := `{"ts":"2026-08-01T00:00:00Z","scenario":"consensus/n=4/omega","ops_per_sec":4800}
+{"ts":"2026-08-08T00:00:00Z","scenario":"consensus/n=4/omega","ops_per_sec":5000,"p50_ns":70000,"p99_ns":200000,"p999_ns":350000,"runs":10,"machine":"runner-42"}
+`
+	if err := os.WriteFile(histPath, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := parseHistory(histPath)
+	if err != nil {
+		t.Fatalf("parseHistory: %v", err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("got %d history entries, want 2", len(hist))
+	}
+	if hist[0].P50NS != 0 || hist[0].Runs != 0 {
+		t.Errorf("minimal history line grew fields: %+v", hist[0])
+	}
+	if hist[1].OpsPerSec != 5000 || hist[1].P999NS != 350000 {
+		t.Errorf("full history line = %+v", hist[1])
+	}
+	// The gate consumes the mixed history together with the mixed artifact.
+	if n, out := checkHist(reps, hist, 5, 0.5); n != 0 {
+		t.Fatalf("mixed history + mixed artifact: %d failures: %v", n, out)
+	}
 }
 
 func TestCheckReportsFloorAndBaseline(t *testing.T) {
@@ -284,5 +313,135 @@ func TestCheckReportsFloorAndBaseline(t *testing.T) {
 	base["renaming/n=4/j=3/k=2"] = rep("renaming/n=4/j=3/k=2", 5000, time.Millisecond, time.Millisecond)
 	if n, _ := check(reps, base, checkOptions{minFrac: 0.05}); n != 1 {
 		t.Errorf("baseline scenario missing from artifact: got %d failures, want 1", n)
+	}
+}
+
+// histOps builds history entries for one scenario from an ops sequence,
+// oldest first (file order is chronological).
+func histOps(scenario string, ops ...float64) []historyEntry {
+	out := make([]historyEntry, len(ops))
+	for i, v := range ops {
+		out[i] = historyEntry{TS: "2026-08-08T00:00:00Z", Scenario: scenario, OpsPerSec: v}
+	}
+	return out
+}
+
+// checkHist runs checkHistory and returns the failure count and lines.
+func checkHist(reps []*native.StressReport, hist []historyEntry, window int, frac float64) (int, []string) {
+	var lines []string
+	n := checkHistory(reps, hist, window, frac, func(format string, a ...any) {
+		lines = append(lines, fmt.Sprintf(format, a...))
+	})
+	return n, lines
+}
+
+func TestHistoryGateInactiveUntilWindowFills(t *testing.T) {
+	cur := []*native.StressReport{rep("consensus/n=4/omega", 100, time.Millisecond, time.Millisecond)}
+	// 4 history entries + current = 5 points: one short of window+1.
+	hist := histOps("consensus/n=4/omega", 10000, 10000, 10000, 10000)
+	if n, lines := checkHist(cur, hist, 5, 0.5); n != 0 {
+		t.Fatalf("young scenario tripped the gate: %d failures: %v", n, lines)
+	}
+}
+
+func TestHistoryGateSustainedRegressionFails(t *testing.T) {
+	cur := []*native.StressReport{rep("consensus/n=4/omega", 4000, time.Millisecond, time.Millisecond)}
+	// Peak 10000, then four runs at 4000; the current 4000 completes a
+	// window of five, all below 0.5x of the peak just before it.
+	hist := histOps("consensus/n=4/omega", 10000, 10000, 4000, 4000, 4000, 4000)
+	n, lines := checkHist(cur, hist, 5, 0.5)
+	if n != 1 {
+		t.Fatalf("sustained 0.4x regression: got %d failures, want 1: %v", n, lines)
+	}
+}
+
+func TestHistoryGateSingleRunNeitherTripsNorMasks(t *testing.T) {
+	// One slow current run does NOT trip the gate while the window still
+	// holds healthy entries...
+	cur := []*native.StressReport{rep("consensus/n=4/omega", 100, time.Millisecond, time.Millisecond)}
+	hist := histOps("consensus/n=4/omega", 10000, 10000, 9000, 9500, 9800, 9700)
+	if n, lines := checkHist(cur, hist, 5, 0.5); n != 0 {
+		t.Fatalf("one noisy run tripped the gate: %d failures: %v", n, lines)
+	}
+	// ...and one healthy run inside an otherwise collapsed window does not
+	// mask the regression forever: it passes now, but the healthy entry
+	// ages out of the window as slow runs accumulate.
+	cur = []*native.StressReport{rep("consensus/n=4/omega", 4000, time.Millisecond, time.Millisecond)}
+	hist = histOps("consensus/n=4/omega", 10000, 10000, 4000, 4000, 6000, 4000)
+	if n, lines := checkHist(cur, hist, 5, 0.5); n != 0 {
+		t.Fatalf("window containing one healthy run tripped: %d failures: %v", n, lines)
+	}
+}
+
+func TestHistoryGateReferenceIsRecentPeak(t *testing.T) {
+	// The all-time peak (20000) sits further back than window entries
+	// before the tail; the reference must be the recent 6000, so five runs
+	// at 4000 are 0.67x of it and pass at frac 0.5.
+	cur := []*native.StressReport{rep("consensus/n=4/omega", 4000, time.Millisecond, time.Millisecond)}
+	hist := histOps("consensus/n=4/omega",
+		20000, 6000, 6000, 6000, 6000, 6000, 4000, 4000, 4000, 4000)
+	if n, lines := checkHist(cur, hist, 5, 0.5); n != 0 {
+		t.Fatalf("aged-out peak still referenced: %d failures: %v", n, lines)
+	}
+}
+
+func TestParseHistoryMalformedLines(t *testing.T) {
+	write := func(content string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	for _, bad := range []string{
+		`{"scenario": "consensus", "ops_per_sec": 100`,          // truncated JSON
+		`{"ts": "2026-08-08T00:00:00Z", "ops_per_sec": 100}`,    // no scenario
+		`{"scenario": "consensus", "ops_per_sec": 0}`,           // non-positive ops
+		`{"scenario": "consensus", "ops_per_sec": 100}` + "\nx", // good line then garbage
+	} {
+		if _, err := parseHistory(write(bad)); err == nil {
+			t.Errorf("parseHistory accepted malformed content %q", bad)
+		}
+	}
+	// A missing file is an empty history, not an error.
+	if hist, err := parseHistory(filepath.Join(t.TempDir(), "absent.jsonl")); err != nil || hist != nil {
+		t.Errorf("missing file: got %v, %v; want nil, nil", hist, err)
+	}
+	// Blank lines are tolerated (trailing newlines from shell appends).
+	hist, err := parseHistory(write(`{"scenario": "consensus", "ops_per_sec": 100}` + "\n\n"))
+	if err != nil || len(hist) != 1 {
+		t.Errorf("blank-line file: got %d entries, %v; want 1, nil", len(hist), err)
+	}
+}
+
+func TestAppendHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	reps := []*native.StressReport{
+		rep("consensus/n=4/omega", 50000, 80*time.Microsecond, 500*time.Microsecond),
+		rep("renaming/n=4/j=3/k=2", 9000, time.Millisecond, 8*time.Millisecond),
+	}
+	if err := appendHistory(path, reps); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, reps); err != nil { // appends, not truncates
+		t.Fatal(err)
+	}
+	hist, err := parseHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 4 {
+		t.Fatalf("got %d entries after two appends, want 4", len(hist))
+	}
+	e := hist[0]
+	if e.Scenario != "consensus/n=4/omega" || e.OpsPerSec != 50000 || e.Runs != 100 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	if e.P50NS != (80*time.Microsecond).Nanoseconds() || e.P99NS != (500*time.Microsecond).Nanoseconds() {
+		t.Errorf("entry 0 latencies = p50:%d p99:%d", e.P50NS, e.P99NS)
+	}
+	if e.TS == "" {
+		t.Error("entry 0 has no timestamp")
 	}
 }

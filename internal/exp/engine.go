@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"wfadvice/internal/obs"
 )
 
 // Options configures an Engine.
@@ -140,7 +142,9 @@ func cellSeed(root int64, expID string, cell int) int64 {
 }
 
 // Run executes one experiment and merges the cell outcomes into a Table in
-// cell-generation order.
+// cell-generation order. The telemetry recorded along the way (cell
+// counters, worker gauges, the latency histogram) is strictly outside the
+// Table: rendered output is byte-identical with it enabled or stubbed.
 func (e *Engine) Run(x Experiment) *Table {
 	cells := x.Cells(e.opt)
 	outs := make([]Outcome, len(cells))
@@ -152,13 +156,44 @@ func (e *Engine) Run(x Experiment) *Table {
 	if workers < 1 {
 		workers = 1
 	}
+	mh := newExpHandle()
+	if mh.Enabled() {
+		gCellsTotal.Add(int64(len(cells)))
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker handle and private latency histogram: bumps land
+			// on a stripe this worker effectively owns, and Observe never
+			// contends. The histogram folds into the shared one at drain.
+			wh := newExpHandle()
+			var whist *obs.Histogram
+			if wh.Enabled() {
+				whist = obs.NewHistogram()
+				gWorkersActive.Add(1)
+				defer func() {
+					cellLatency.Merge(whist)
+					gWorkersActive.Add(-1)
+				}()
+			}
 			for i := range jobs {
-				outs[i] = e.runCell(x, i, cells[i])
+				if whist == nil {
+					outs[i], _ = e.runCell(x, i, cells[i])
+					continue
+				}
+				t0 := time.Now()
+				o, timedOut := e.runCell(x, i, cells[i])
+				whist.Observe(time.Since(t0).Nanoseconds())
+				wh.Inc(cExpCell)
+				if timedOut {
+					wh.Inc(cExpCellTimeout)
+				}
+				if o.Failures > 0 {
+					wh.Inc(cExpCellFail)
+				}
+				outs[i] = o
 			}
 		}()
 	}
@@ -167,6 +202,7 @@ func (e *Engine) Run(x Experiment) *Table {
 	}
 	close(jobs)
 	wg.Wait()
+	mh.Inc(cExpExperiment)
 
 	t := &Table{
 		ID:     x.ID,
@@ -192,7 +228,9 @@ func (e *Engine) RunAll(xs []Experiment) []*Table {
 	return out
 }
 
-func (e *Engine) runCell(x Experiment, i int, c Cell) Outcome {
+// runCell executes one cell; timedOut reports that the outcome is the
+// Timeout failure row rather than the cell's own result.
+func (e *Engine) runCell(x Experiment, i int, c Cell) (o Outcome, timedOut bool) {
 	seed := cellSeed(e.opt.Seed, x.ID, i)
 	trial := &Trial{
 		Experiment: x.ID,
@@ -203,7 +241,7 @@ func (e *Engine) runCell(x Experiment, i int, c Cell) Outcome {
 		Opt:        e.opt,
 	}
 	if e.opt.Timeout <= 0 {
-		return safeRun(c, trial)
+		return safeRun(c, trial), false
 	}
 	done := make(chan Outcome, 1)
 	go func() { done <- safeRun(c, trial) }()
@@ -211,12 +249,12 @@ func (e *Engine) runCell(x Experiment, i int, c Cell) Outcome {
 	defer timer.Stop()
 	select {
 	case o := <-done:
-		return o
+		return o, false
 	case <-timer.C:
 		return Outcome{
 			Rows:     [][]string{{c.Name, fmt.Sprintf("FAIL: trial timed out after %v", e.opt.Timeout)}},
 			Failures: 1,
-		}
+		}, true
 	}
 }
 

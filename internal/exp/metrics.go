@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"sync/atomic"
+
+	"wfadvice/internal/obs"
+)
+
+// This file is the experiment engine's live telemetry (internal/obs wired
+// in): process-wide striped counters for cells completed / failed / timed
+// out, gauges for planned work and active workers, and a per-cell
+// wall-time histogram — the signals behind `efd-bench -http` and the
+// -progress ETA heartbeat. Everything here sits strictly OUTSIDE Table:
+// outcomes still merge in cell-generation order, so rendered tables are
+// byte-identical at any parallelism and with telemetry enabled or stubbed
+// (pinned by TestEngineTelemetryDeterminism). Each worker observes cell
+// latencies into a private histogram with zero contention and folds it
+// into the shared one via Histogram.Merge when it drains.
+
+// Engine counter taxonomy. The constants index expCounterNames; both
+// orders must stay in sync (pinned by TestExpCounterNames).
+const (
+	// cExpCell counts completed trial cells (the ETA denominator's done
+	// side); cExpCellFail counts cells that contributed claim-violation
+	// rows; cExpCellTimeout counts cells cut off by Options.Timeout.
+	cExpCell obs.CounterID = iota
+	cExpCellFail
+	cExpCellTimeout
+	// cExpExperiment counts completed Engine.Run invocations.
+	cExpExperiment
+
+	numExpCounters
+)
+
+// expCounterNames are the exported metric names, in CounterID order
+// (served as wfadvice_<name>_total by `efd-bench -http`).
+var expCounterNames = []string{
+	"exp_cell",
+	"exp_cell_fail",
+	"exp_cell_timeout",
+	"exp_experiment",
+}
+
+// expMetrics is the process-wide engine counter set.
+var expMetrics = obs.NewCounters(expCounterNames)
+
+// Live gauges.
+var (
+	// gCellsTotal accumulates the cells planned by every Engine.Run so
+	// far; together with the exp_cell counter it is the live progress
+	// fraction.
+	gCellsTotal obs.Gauge
+	// gWorkersActive is the number of pool workers currently draining
+	// cells (the utilization signal: compare against Options.Parallelism).
+	gWorkersActive obs.Gauge
+)
+
+// cellLatency is the cross-worker per-cell wall-time histogram
+// (nanoseconds; exported as wfadvice_exp_cell_latency_ns on /metrics).
+var cellLatency = obs.NewHistogram()
+
+// expMetricsEnabled gates handle minting at Run/worker start, not
+// per-bump, mirroring native.EnableMetrics.
+var expMetricsEnabled atomic.Bool
+
+func init() { expMetricsEnabled.Store(true) }
+
+// EnableMetrics turns engine telemetry on or off for runs started AFTER
+// the call. Tables are byte-identical either way.
+func EnableMetrics(on bool) { expMetricsEnabled.Store(on) }
+
+// Metrics returns the process-wide engine counter set (the
+// `efd-bench -http` debug endpoint's primary source).
+func Metrics() *obs.Counters { return expMetrics }
+
+// MetricsSnapshot sums the counter stripes into a point-in-time snapshot.
+func MetricsSnapshot() obs.Snapshot { return expMetrics.Snapshot() }
+
+// CellLatency returns the live per-cell wall-time histogram.
+func CellLatency() *obs.Histogram { return cellLatency }
+
+// ProgressGauges reads every engine gauge, keyed by its metric name —
+// the DebugOptions.Gauges source.
+func ProgressGauges() map[string]int64 {
+	return map[string]int64{
+		"exp_cells_total":    gCellsTotal.Load(),
+		"exp_workers_active": gWorkersActive.Load(),
+	}
+}
+
+// PlanCells counts the trial cells the given experiments would generate
+// under opt — the ETA denominator a driver computes up front, before any
+// Run has published its planned count.
+func PlanCells(xs []Experiment, opt Options) int {
+	n := 0
+	for _, x := range xs {
+		n += len(x.Cells(opt))
+	}
+	return n
+}
+
+// newExpHandle mints a recording handle, or a discarding zero handle when
+// telemetry is disabled. Each pool worker mints its own so bumps land on
+// stripes the workers effectively own.
+func newExpHandle() obs.Handle {
+	if !expMetricsEnabled.Load() {
+		return obs.Handle{}
+	}
+	return expMetrics.Handle()
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wfadvice/internal/sim"
+)
+
+// TestExpCounterNames pins the counter taxonomy: the names slice and the
+// CounterID constants index each other, so reordering either without the
+// other corrupts every exported series.
+func TestExpCounterNames(t *testing.T) {
+	want := []string{"exp_cell", "exp_cell_fail", "exp_cell_timeout", "exp_experiment"}
+	if !reflect.DeepEqual(expCounterNames, want) {
+		t.Errorf("expCounterNames = %v, want %v", expCounterNames, want)
+	}
+	if len(expCounterNames) != int(numExpCounters) {
+		t.Errorf("len(expCounterNames) = %d, numExpCounters = %d", len(expCounterNames), numExpCounters)
+	}
+}
+
+// TestEngineTelemetryCounts runs one synthetic experiment and checks the
+// counter deltas and the latency histogram against exact expectations.
+func TestEngineTelemetryCounts(t *testing.T) {
+	syn := syntheticExperiment(12, nil)
+	before := MetricsSnapshot()
+	histBefore := CellLatency().Snapshot().Count
+	NewEngine(Options{Seed: 1, Parallelism: 4}).Run(syn)
+	m := MetricsSnapshot().Delta(before).Map()
+	if m["exp_cell"] != 12 {
+		t.Errorf("exp_cell delta = %d, want 12", m["exp_cell"])
+	}
+	if m["exp_experiment"] != 1 {
+		t.Errorf("exp_experiment delta = %d, want 1", m["exp_experiment"])
+	}
+	if m["exp_cell_fail"] != 0 || m["exp_cell_timeout"] != 0 {
+		t.Errorf("unexpected failure deltas: %v", m)
+	}
+	if got := CellLatency().Snapshot().Count - histBefore; got != 12 {
+		t.Errorf("cell latency histogram grew by %d, want 12", got)
+	}
+	if g := ProgressGauges(); g["exp_workers_active"] != 0 {
+		t.Errorf("exp_workers_active = %d after the pool drained, want 0", g["exp_workers_active"])
+	}
+}
+
+// TestEngineTelemetryDisabled checks that EnableMetrics(false) stubs runs
+// started afterwards: no counter moves, no histogram growth.
+func TestEngineTelemetryDisabled(t *testing.T) {
+	EnableMetrics(false)
+	defer EnableMetrics(true)
+	before := MetricsSnapshot()
+	histBefore := CellLatency().Snapshot().Count
+	NewEngine(Options{Seed: 1, Parallelism: 4}).Run(syntheticExperiment(8, nil))
+	if d := MetricsSnapshot().Delta(before).Map(); len(d) != 0 {
+		t.Errorf("disabled telemetry still moved counters: %v", d)
+	}
+	if got := CellLatency().Snapshot().Count - histBefore; got != 0 {
+		t.Errorf("disabled telemetry still observed %d latencies", got)
+	}
+}
+
+// TestEngineTelemetryDeterminism is the PR's determinism guard at the
+// experiment layer: the full rendered table set must be byte-identical
+// with telemetry enabled and stubbed, at one worker and at eight —
+// counters, gauges and the latency histogram sit strictly outside Table.
+// sim-level op counting toggles in lockstep so the whole stack under the
+// trials is exercised. Under -short the grid shrinks to the seeded
+// search experiments; the full job runs every non-measured experiment —
+// exactly the `efd-bench -short -skip-measured` table set.
+func TestEngineTelemetryDeterminism(t *testing.T) {
+	var xs []Experiment
+	for _, x := range Experiments() {
+		if x.Measured {
+			continue
+		}
+		if testing.Short() && x.ID != "E9" && x.ID != "E10" && x.ID != "E11" {
+			continue
+		}
+		xs = append(xs, x)
+	}
+	defer EnableMetrics(true)
+	defer sim.EnableMetrics(true)
+	render := func(telemetry bool, workers int) string {
+		EnableMetrics(telemetry)
+		sim.EnableMetrics(telemetry)
+		eng := NewEngine(Options{Seed: DefaultSeed, Short: true, Parallelism: workers})
+		var sb strings.Builder
+		for _, tbl := range eng.RunAll(xs) {
+			sb.WriteString(tbl.Render())
+		}
+		return sb.String()
+	}
+	base := render(true, 1)
+	for _, c := range []struct {
+		telemetry bool
+		workers   int
+	}{{true, 8}, {false, 1}, {false, 8}} {
+		if got := render(c.telemetry, c.workers); got != base {
+			t.Errorf("telemetry=%v workers=%d: rendered tables differ from telemetry=true workers=1",
+				c.telemetry, c.workers)
+		}
+	}
+}

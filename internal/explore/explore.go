@@ -275,10 +275,15 @@ type walkState struct {
 	witness    []Violation
 	cut        bool
 	probeErr   error
+	// mx is the walk's live-telemetry surface, minted at construction
+	// (zero = stubbed). It mirrors stats into the process-wide counters
+	// and never feeds back into the walk — Report stays byte-identical
+	// with telemetry enabled or disabled.
+	mx walkMetrics
 }
 
 func newWalkState(budget int) *walkState {
-	return &walkState{budget: budget, visited: make(map[uint64]int)}
+	return &walkState{budget: budget, visited: make(map[uint64]int), mx: newWalkMetrics()}
 }
 
 type sweepOut struct {
@@ -298,14 +303,17 @@ func (s *searcher) sweep(depth int) (*sweepOut, error) {
 	var items []workItem
 	root := newWalkState(s.opt.maxRuns())
 	root.splitDepth = split
+	root.mx.sweepStart(depth)
 	s.walk(nil, nil, depth, root, func(it workItem) { items = append(items, it) })
 	if root.probeErr != nil {
 		return nil, root.probeErr
 	}
 	out := &sweepOut{stats: root.stats, witness: root.witness, cut: root.cut}
 	if len(items) == 0 {
+		root.mx.sweepDone()
 		return out, nil
 	}
+	root.mx.itemsPlanned(len(items))
 	// Phase 2: explore the items on the pool. Per-item budgets are derived
 	// from the item count (not the worker count), and results merge back in
 	// item-generation order, so the sweep is deterministic at any
@@ -328,6 +336,7 @@ func (s *searcher) sweep(depth int) (*sweepOut, error) {
 			for i := range jobs {
 				st := newWalkState(perItem)
 				s.walk(items[i].prefix, items[i].sleep, depth, st, nil)
+				st.mx.itemDone()
 				outs[i] = st
 			}
 		}()
@@ -345,6 +354,7 @@ func (s *searcher) sweep(depth int) (*sweepOut, error) {
 		out.witness = append(out.witness, st.witness...)
 		out.cut = out.cut || st.cut
 	}
+	root.mx.sweepDone()
 	return out, nil
 }
 
@@ -365,12 +375,14 @@ func (s *searcher) walk(prefix []ids.Proc, sleep map[ids.Proc]bool, depth int, s
 	}
 	nd, err := s.probe(prefix)
 	st.stats.Runs++
+	st.mx.node(len(prefix))
 	if err != nil {
 		st.probeErr = err
 		return
 	}
 	if verr := s.spec.Check(nd.res); verr != nil {
 		st.stats.Violations++
+		st.mx.inc(cXViolation)
 		if len(st.witness) < s.opt.maxViolations() {
 			st.witness = append(st.witness, Violation{
 				Depth:    len(prefix),
@@ -383,6 +395,7 @@ func (s *searcher) walk(prefix []ids.Proc, sleep map[ids.Proc]bool, depth int, s
 	}
 	if !nd.reached || len(nd.ready) == 0 {
 		st.stats.Terminals++
+		st.mx.inc(cXTerminal)
 		return
 	}
 	if len(prefix) >= depth {
@@ -393,6 +406,7 @@ func (s *searcher) walk(prefix []ids.Proc, sleep map[ids.Proc]bool, depth int, s
 		remaining := depth - len(prefix)
 		if seen, ok := st.visited[key]; ok && seen >= remaining {
 			st.stats.DedupHits++
+			st.mx.inc(cXDedupHit)
 			return
 		}
 		st.visited[key] = remaining
@@ -401,6 +415,7 @@ func (s *searcher) walk(prefix []ids.Proc, sleep map[ids.Proc]bool, depth int, s
 	for _, p := range nd.ready {
 		if cur[p] {
 			st.stats.SleepPrunes++
+			st.mx.inc(cXSleepPrune)
 			continue
 		}
 		var childSleep map[ids.Proc]bool

@@ -363,3 +363,83 @@ func TestRenderMentionsSchedule(t *testing.T) {
 		t.Fatalf("render lacks a schedule line:\n%s", rep.Render())
 	}
 }
+
+// TestExploreTelemetryDeterminism is the PR's determinism guard: the
+// rendered report must be byte-identical with telemetry enabled and
+// stubbed, at one worker and at eight — live counters, gauges and the
+// node-depth histogram sit strictly outside Report. sim-level op counting
+// is toggled in lockstep so the whole telemetry stack is exercised.
+func TestExploreTelemetryDeterminism(t *testing.T) {
+	defer explore.EnableMetrics(true)
+	defer sim.EnableMetrics(true)
+	run := func(telemetry bool, workers int) *explore.Report {
+		explore.EnableMetrics(telemetry)
+		sim.EnableMetrics(telemetry)
+		rep, err := explore.Explore(toySpec(false), explore.Options{MaxDepth: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(true, 1)
+	for _, c := range []struct {
+		telemetry bool
+		workers   int
+	}{{true, 8}, {false, 1}, {false, 8}} {
+		rep := run(c.telemetry, c.workers)
+		if !reflect.DeepEqual(base, rep) {
+			t.Errorf("telemetry=%v workers=%d: report differs from telemetry=true workers=1", c.telemetry, c.workers)
+		}
+		if base.Render() != rep.Render() {
+			t.Errorf("telemetry=%v workers=%d: rendered report differs:\n%s\nvs\n%s",
+				c.telemetry, c.workers, rep.Render(), base.Render())
+		}
+	}
+}
+
+// TestExploreTelemetryMatchesStats cross-checks the live counters against
+// the deterministic report: for a quiet process, the counter deltas of
+// one serial search must equal its Stats exactly.
+func TestExploreTelemetryMatchesStats(t *testing.T) {
+	before := explore.MetricsSnapshot()
+	rep, err := explore.Explore(toySpec(false), explore.Options{MaxDepth: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := explore.MetricsSnapshot().Delta(before).Map()
+	if got := m["explore_node"]; got != int64(rep.TotalRuns) {
+		t.Errorf("explore_node delta = %d, want report total runs %d", got, rep.TotalRuns)
+	}
+	for name, want := range map[string]int{
+		"explore_terminal":    rep.Terminals,
+		"explore_dedup_hit":   rep.DedupHits,
+		"explore_sleep_prune": rep.SleepPrunes,
+		"explore_violation":   rep.Violations,
+		"explore_sweep":       rep.Sweeps,
+	} {
+		if got := m[name]; got != int64(want) {
+			t.Errorf("%s delta = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestShrinkTelemetryCountsRuns checks the ddmin progress counters: the
+// shrink_run delta must equal the result's candidate-run count.
+func TestShrinkTelemetryCountsRuns(t *testing.T) {
+	rep, err := explore.Explore(toySpec(true), explore.Options{MaxDepth: 14, Workers: 1, Mode: explore.ModeFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Witness) == 0 {
+		t.Fatalf("no witness to shrink:\n%s", rep.Render())
+	}
+	before := explore.MetricsSnapshot()
+	sr, err := explore.Shrink(toySpec(true), rep.Witness[0].Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := explore.MetricsSnapshot().Delta(before).Map()
+	if got := m["explore_shrink_run"]; got != int64(sr.Runs) {
+		t.Errorf("explore_shrink_run delta = %d, want %d candidate runs", got, sr.Runs)
+	}
+}

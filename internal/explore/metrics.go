@@ -1,0 +1,197 @@
+package explore
+
+import (
+	"sync/atomic"
+
+	"wfadvice/internal/obs"
+)
+
+// This file is the explorer's live telemetry (internal/obs wired in):
+// process-wide striped counters, point-in-time gauges and a node-depth
+// histogram that make a long exhaustive sweep observable — nodes
+// replayed/sec, dedup-hit and sleep-prune rates, the frontier depth the
+// walk is at right now, how the explored nodes distribute over depth, and
+// ddmin shrink progress. Everything here sits strictly OUTSIDE Report:
+// the deterministic Stats that reports are built from are still counted
+// walk-locally and merged in item-generation order, so Report.Render is
+// byte-identical at any worker count and with telemetry enabled or
+// stubbed (pinned by TestExploreTelemetryDeterminism). Handles are minted
+// per walk at construction (the native backend's discipline); a telemetry
+// event on the probe loop is a predictable branch plus a few atomic
+// operations and never allocates (TestExploreTelemetryAllocs).
+
+// Explorer counter taxonomy. The constants index exploreCounterNames;
+// both orders must stay in sync (pinned by TestExploreCounterNames).
+const (
+	// cXNode counts nodes replayed — one fresh-runtime prefix replay each
+	// (the nodes/sec numerator; multiply out with sim_step for states/sec).
+	cXNode obs.CounterID = iota
+	cXTerminal
+	cXDedupHit
+	cXSleepPrune
+	cXViolation
+	// cXSweep counts completed deepening sweeps; cXItem counts completed
+	// phase-2 work items (the sub-tree units the pool consumes).
+	cXSweep
+	cXItem
+	// Shrink progress: ddmin candidate runs evaluated, and candidates that
+	// actually reduced the schedule.
+	cXShrinkRun
+	cXShrinkReduce
+
+	numExploreCounters
+)
+
+// exploreCounterNames are the exported metric names, in CounterID order
+// (served as wfadvice_<name>_total by `efd-explore -http`).
+var exploreCounterNames = []string{
+	"explore_node",
+	"explore_terminal",
+	"explore_dedup_hit",
+	"explore_sleep_prune",
+	"explore_violation",
+	"explore_sweep",
+	"explore_item",
+	"explore_shrink_run",
+	"explore_shrink_reduce",
+}
+
+// exploreMetrics is the process-wide explorer counter set.
+var exploreMetrics = obs.NewCounters(exploreCounterNames)
+
+// Live gauges. Multi-worker writes are last-write-wins — the gauges are
+// "where is the search now" signals, not accounting (the counters are).
+var (
+	// gFrontierDepth is the prefix length of the most recently probed
+	// node; gFrontierMax is the sweep-lifetime high-water mark.
+	gFrontierDepth obs.Gauge
+	gFrontierMax   obs.Gauge
+	// gSweepDepth is the horizon of the sweep in progress.
+	gSweepDepth obs.Gauge
+	// gItemsTotal/gItemsDone are the current sweep's phase-2 work-item
+	// progress (the ETA numerator for a long exhaustive sweep).
+	gItemsTotal obs.Gauge
+	gItemsDone  obs.Gauge
+	// gShrinkLen is the current candidate schedule length during a Shrink.
+	gShrinkLen obs.Gauge
+)
+
+// nodeDepths is the depth histogram: one observation per replayed node at
+// its prefix length. Cumulative across sweeps; windowed consumers (the
+// -progress heartbeat) difference snapshots.
+var nodeDepths = obs.NewHistogram()
+
+// exploreMetricsEnabled gates handle minting at walk construction, not
+// per-bump, mirroring native.EnableMetrics.
+var exploreMetricsEnabled atomic.Bool
+
+func init() { exploreMetricsEnabled.Store(true) }
+
+// EnableMetrics turns explorer telemetry on or off for walks started
+// AFTER the call. Reports are byte-identical either way.
+func EnableMetrics(on bool) { exploreMetricsEnabled.Store(on) }
+
+// Metrics returns the process-wide explorer counter set (the
+// `efd-explore -http` debug endpoint's primary source).
+func Metrics() *obs.Counters { return exploreMetrics }
+
+// MetricsSnapshot sums the counter stripes into a point-in-time snapshot.
+func MetricsSnapshot() obs.Snapshot { return exploreMetrics.Snapshot() }
+
+// NodeDepths returns the live node-depth histogram (exported as
+// wfadvice_explore_node_depth on /metrics).
+func NodeDepths() *obs.Histogram { return nodeDepths }
+
+// ProgressGauges reads every explorer gauge, keyed by its metric name —
+// the DebugOptions.Gauges source.
+func ProgressGauges() map[string]int64 {
+	return map[string]int64{
+		"explore_frontier_depth":     gFrontierDepth.Load(),
+		"explore_frontier_depth_max": gFrontierMax.Load(),
+		"explore_sweep_depth":        gSweepDepth.Load(),
+		"explore_items_total":        gItemsTotal.Load(),
+		"explore_items_done":         gItemsDone.Load(),
+		"explore_shrink_len":         gShrinkLen.Load(),
+	}
+}
+
+// walkMetrics is the telemetry surface one walk records through: a
+// pre-resolved counter handle plus the shared gauges and histogram. The
+// zero value (zero Handle) is the stubbed mode — every method becomes one
+// predictable branch, no atomics, no shared-state touches.
+type walkMetrics struct {
+	h obs.Handle
+}
+
+// newWalkMetrics mints the telemetry surface for one walk (or the stubbed
+// zero surface when telemetry is disabled).
+func newWalkMetrics() walkMetrics {
+	if !exploreMetricsEnabled.Load() {
+		return walkMetrics{}
+	}
+	return walkMetrics{h: exploreMetrics.Handle()}
+}
+
+// node records one replayed node at the given prefix depth: the node
+// counter, the live frontier gauges, and the depth histogram.
+func (m walkMetrics) node(depth int) {
+	if !m.h.Enabled() {
+		return
+	}
+	m.h.Inc(cXNode)
+	d := int64(depth)
+	gFrontierDepth.Set(d)
+	gFrontierMax.SetMax(d)
+	nodeDepths.Observe(d)
+}
+
+// inc bumps one explorer counter (terminal, dedup, sleep-prune, ...).
+func (m walkMetrics) inc(id obs.CounterID) { m.h.Inc(id) }
+
+// sweepStart publishes a new sweep's horizon and resets item progress.
+func (m walkMetrics) sweepStart(depth int) {
+	if !m.h.Enabled() {
+		return
+	}
+	gSweepDepth.Set(int64(depth))
+	gItemsTotal.Set(0)
+	gItemsDone.Set(0)
+}
+
+// itemsPlanned publishes the sweep's phase-2 work-item count.
+func (m walkMetrics) itemsPlanned(n int) {
+	if !m.h.Enabled() {
+		return
+	}
+	gItemsTotal.Set(int64(n))
+}
+
+// itemDone counts one drained work item.
+func (m walkMetrics) itemDone() {
+	if !m.h.Enabled() {
+		return
+	}
+	m.h.Inc(cXItem)
+	gItemsDone.Add(1)
+}
+
+// sweepDone counts one completed deepening sweep.
+func (m walkMetrics) sweepDone() { m.h.Inc(cXSweep) }
+
+// shrinkLen publishes the current candidate schedule length of a Shrink.
+func (m walkMetrics) shrinkLen(n int) {
+	if !m.h.Enabled() {
+		return
+	}
+	gShrinkLen.Set(int64(n))
+}
+
+// shrinkReduced counts one successful ddmin reduction and publishes the
+// new candidate length.
+func (m walkMetrics) shrinkReduced(n int) {
+	if !m.h.Enabled() {
+		return
+	}
+	m.h.Inc(cXShrinkReduce)
+	gShrinkLen.Set(int64(n))
+}

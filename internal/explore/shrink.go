@@ -46,13 +46,15 @@ const shrinkMaxRuns = 50_000
 // persists. The result is 1-minimal: removing any single remaining entry
 // loses the violation.
 func Shrink(spec Spec, schedule []ids.Proc) (*ShrinkResult, error) {
+	mx := newWalkMetrics()
 	out := &ShrinkResult{Original: cloneProcs(schedule)}
-	res, bad := shrinkRun(spec, schedule, out)
+	res, bad := shrinkRun(spec, schedule, out, mx)
 	if !bad {
 		return nil, fmt.Errorf("explore: schedule does not violate the predicate; nothing to shrink")
 	}
 	out.OriginalSteps = res.Steps
 	cur := cloneProcs(schedule)
+	mx.shrinkLen(len(cur))
 	n := 2
 	for len(cur) >= 2 && n <= len(cur) {
 		chunk := (len(cur) + n - 1) / n
@@ -66,8 +68,9 @@ func Shrink(spec Spec, schedule []ids.Proc) (*ShrinkResult, error) {
 			if out.Runs >= shrinkMaxRuns {
 				return nil, fmt.Errorf("explore: shrink exceeded %d candidate runs", shrinkMaxRuns)
 			}
-			if _, stillBad := shrinkRun(spec, cand, out); stillBad {
+			if _, stillBad := shrinkRun(spec, cand, out, mx); stillBad {
 				cur = cand
+				mx.shrinkReduced(len(cur))
 				if n > 2 {
 					n--
 				}
@@ -85,7 +88,7 @@ func Shrink(spec Spec, schedule []ids.Proc) (*ShrinkResult, error) {
 			}
 		}
 	}
-	final, _ := shrinkRun(spec, cur, out)
+	final, _ := shrinkRun(spec, cur, out, mx)
 	out.Shrunk = cur
 	out.ShrunkSteps = final.Steps
 	out.Trace = RecordTrace(spec, final)
@@ -94,8 +97,9 @@ func Shrink(spec Spec, schedule []ids.Proc) (*ShrinkResult, error) {
 
 // shrinkRun executes one candidate schedule tolerantly (entries whose
 // process is not ready are skipped) and judges it.
-func shrinkRun(spec Spec, schedule []ids.Proc, out *ShrinkResult) (*sim.Result, bool) {
+func shrinkRun(spec Spec, schedule []ids.Proc, out *ShrinkResult, mx walkMetrics) (*sim.Result, bool) {
 	out.Runs++
+	mx.inc(cXShrinkRun)
 	rt, err := spec.New(len(schedule) + 2)
 	if err != nil {
 		return &sim.Result{}, false

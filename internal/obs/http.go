@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -19,9 +20,15 @@ import (
 // DebugOptions configures DebugHandler. Every field is optional; nil
 // sources simply don't serve.
 type DebugOptions struct {
-	// Counters is the counter set to export; each counter serializes as
-	// <Prefix>_<name>_total.
+	// Counters is the primary counter set to export; each counter
+	// serializes as <Prefix>_<name>_total. It is also the set published to
+	// expvar.
 	Counters *Counters
+	// MoreCounters are additional counter sets appended to /metrics after
+	// the primary one — an instrumented layer that sits on top of another
+	// (the explorer over the sim runtime) serves both taxonomies from one
+	// endpoint.
+	MoreCounters []*Counters
 	// Histograms maps a metric base name (e.g. "decision_latency_ns") to
 	// a live histogram, exported in the Prometheus histogram convention
 	// (cumulative _bucket series plus _sum and _count).
@@ -31,8 +38,27 @@ type DebugOptions struct {
 	// Gauges, if set, contributes extra point-in-time series (reported as
 	// <Prefix>_<name>, no _total suffix).
 	Gauges func() map[string]int64
+	// Progress, if set, is served at /progress as a JSON document — the
+	// caller-shaped live-progress summary (cells done/total, nodes/sec,
+	// ETA) that a dashboard or a CI curl reads without parsing Prometheus
+	// text.
+	Progress func() any
 	// Prefix is the metric namespace; empty means "wfadvice".
 	Prefix string
+}
+
+// counterSets returns every counter set to export, primary first.
+func (o DebugOptions) counterSets() []*Counters {
+	var sets []*Counters
+	if o.Counters != nil {
+		sets = append(sets, o.Counters)
+	}
+	for _, c := range o.MoreCounters {
+		if c != nil {
+			sets = append(sets, c)
+		}
+	}
+	return sets
 }
 
 func (o DebugOptions) prefix() string {
@@ -50,6 +76,7 @@ var expvarOnce sync.Once
 //
 //	/metrics       Prometheus text: counters, histograms, runtime gauges
 //	/trace         tracer ring dump (JSON; ?format=chrome for trace viewers)
+//	/progress      caller-shaped live-progress JSON (when Progress is set)
 //	/debug/pprof/  the standard pprof index, profiles and symbolization
 //	/debug/vars    expvar (includes the counter snapshot)
 func DebugHandler(o DebugOptions) http.Handler {
@@ -67,6 +94,14 @@ func DebugHandler(o DebugOptions) http.Handler {
 				return
 			}
 			_ = d.WriteJSON(w)
+		})
+	}
+	if o.Progress != nil {
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(o.Progress())
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -89,8 +124,8 @@ func DebugHandler(o DebugOptions) http.Handler {
 // writeMetrics renders the Prometheus text exposition.
 func writeMetrics(w http.ResponseWriter, o DebugOptions) {
 	p := o.prefix()
-	if o.Counters != nil {
-		s := o.Counters.Snapshot()
+	for _, c := range o.counterSets() {
+		s := c.Snapshot()
 		names := s.Names()
 		for i, name := range names {
 			fmt.Fprintf(w, "# TYPE %s_%s_total counter\n", p, name)

@@ -50,6 +50,60 @@ func TestDebugHandlerMetrics(t *testing.T) {
 	}
 }
 
+// TestDebugHandlerMoreCounters serves two counter taxonomies from one
+// endpoint: the primary set and an additional layer's set must both
+// appear on /metrics, and only the primary feeds expvar.
+func TestDebugHandlerMoreCounters(t *testing.T) {
+	opt, h := debugFixture()
+	more := NewCounters([]string{"explore_node"})
+	more.Handle().Add(0, 9)
+	opt.MoreCounters = []*Counters{nil, more} // nils are skipped
+	h.Inc(0)
+	srv := httptest.NewServer(DebugHandler(opt))
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"wfadvice_reg_read_total 1",
+		"wfadvice_explore_node_total 9",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestDebugHandlerProgress serves the caller-shaped progress document as
+// JSON; without Progress the route must 404.
+func TestDebugHandlerProgress(t *testing.T) {
+	opt, _ := debugFixture()
+	opt.Progress = func() any {
+		return map[string]any{"cells_done": 3, "cells_planned": 10}
+	}
+	srv := httptest.NewServer(DebugHandler(opt))
+	defer srv.Close()
+
+	var doc map[string]float64
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/progress")), &doc); err != nil {
+		t.Fatalf("/progress: %v", err)
+	}
+	if doc["cells_done"] != 3 || doc["cells_planned"] != 10 {
+		t.Errorf("/progress = %v, want cells_done:3 cells_planned:10", doc)
+	}
+
+	plain, _ := debugFixture()
+	srv2 := httptest.NewServer(DebugHandler(plain))
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/progress without a Progress source: status %d, want 404", resp.StatusCode)
+	}
+}
+
 func TestDebugHandlerTrace(t *testing.T) {
 	opt, _ := debugFixture()
 	srv := httptest.NewServer(DebugHandler(opt))

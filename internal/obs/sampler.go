@@ -1,0 +1,83 @@
+package obs
+
+import "time"
+
+// This file is the windowed sampler behind the `-progress` heartbeats and
+// the live progress endpoints: it turns a monotone Counters set into
+// rates by snapshotting on a cadence and differencing consecutive
+// snapshots. Sampling runs strictly off the hot path (one stripe-summing
+// snapshot per window, allocating freely); the recorded counters pay
+// nothing for being watched.
+
+// Sampler produces windowed counter-delta observations of one Counters
+// set. It is single-consumer: one goroutine (the heartbeat loop, the
+// progress handler) calls Sample; the counters themselves may be bumped
+// by any number of recorders meanwhile.
+type Sampler struct {
+	c      *Counters
+	start  time.Time
+	prev   Snapshot
+	prevAt time.Time
+}
+
+// NewSampler snapshots c to anchor the first window and returns the
+// sampler. Rates reported by the first Sample cover creation → first call.
+func NewSampler(c *Counters) *Sampler {
+	now := time.Now()
+	return &Sampler{c: c, start: now, prev: c.Snapshot(), prevAt: now}
+}
+
+// Sample closes the current window: it snapshots the counters, diffs
+// against the previous sample, and returns the window. Call it on the
+// heartbeat cadence; each window covers exactly the span since the
+// previous call.
+func (s *Sampler) Sample() Window {
+	now := time.Now()
+	cur := s.c.Snapshot()
+	w := Window{
+		Elapsed: now.Sub(s.start),
+		Span:    now.Sub(s.prevAt),
+		Total:   cur,
+		Delta:   cur.Delta(s.prev),
+	}
+	s.prev, s.prevAt = cur, now
+	return w
+}
+
+// Window is one closed sampling window: the cumulative totals at its end,
+// the per-counter deltas across it, and its wall-clock extent.
+type Window struct {
+	// Elapsed is the time from sampler creation to the window's end.
+	Elapsed time.Duration
+	// Span is the window's own length (end minus previous sample).
+	Span time.Duration
+	// Total is the cumulative snapshot at the window's end.
+	Total Snapshot
+	// Delta is Total minus the previous window's Total.
+	Delta Snapshot
+}
+
+// Rate returns one counter's within-window rate in events/second (zero
+// for an empty window).
+func (w Window) Rate(id CounterID) float64 {
+	s := w.Span.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(w.Delta.Get(id)) / s
+}
+
+// Rates renders every counter that moved during the window as
+// name → events/second (the progress-JSON form; zeros omitted like
+// Snapshot.Map).
+func (w Window) Rates() map[string]float64 {
+	s := w.Span.Seconds()
+	out := make(map[string]float64)
+	if s <= 0 {
+		return out
+	}
+	for name, n := range w.Delta.Map() {
+		out[name] = float64(n) / s
+	}
+	return out
+}

@@ -19,6 +19,7 @@ import (
 
 	"wfadvice/internal/fdet"
 	"wfadvice/internal/ids"
+	"wfadvice/internal/obs"
 	"wfadvice/internal/vec"
 )
 
@@ -260,6 +261,9 @@ type Runtime struct {
 	wg     sync.WaitGroup
 	trace  []Event
 	step   int
+	// mh is the op-count telemetry handle, minted at construction (zero =
+	// stubbed). Strictly outside Result: see metrics.go.
+	mh obs.Handle
 }
 
 // New validates cfg and builds a runtime.
@@ -283,6 +287,7 @@ func New(cfg Config) (*Runtime, error) {
 		reqCh:  make(chan *proc),
 		retCh:  make(chan *proc),
 		stopCh: make(chan struct{}),
+		mh:     newMetricsHandle(),
 	}
 	for i := 0; i < cfg.NC; i++ {
 		if cfg.Inputs[i] == nil {
@@ -316,6 +321,7 @@ func (r *Runtime) addProc(id ids.Proc, input Value, body Body) {
 // Run drives the system until the step budget is exhausted, the scheduler
 // stops, or every process returns.
 func (r *Runtime) Run(sched Scheduler) *Result {
+	r.mh.Inc(cSimRun)
 	live := 0
 	pending := 0
 	for _, p := range r.procs {
@@ -481,11 +487,14 @@ func (r *Runtime) result(reason Reason) *Result {
 }
 
 // record appends a trace event; called by the active process during its
-// exclusive step window.
+// exclusive step window. The telemetry bumps ride here — the one place
+// every executed step passes — and touch nothing the Result is built from.
 func (r *Runtime) record(p *proc, kind OpKind, key string, val Value) {
 	r.trace = append(r.trace, Event{Step: r.step, Proc: p.id, Kind: kind, Key: key, Val: val})
 	r.step++
 	p.steps++
+	r.mh.Inc(cSimStep)
+	r.mh.Inc(kindCounter(kind))
 }
 
 // Env is a process's handle to the shared memory, its failure-detector

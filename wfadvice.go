@@ -325,6 +325,17 @@ var (
 	// exists for the instrumented-vs-stubbed overhead benchmarks.
 	NativeEnableMetrics   = native.EnableMetrics
 	NativeMetricsSnapshot = native.MetricsSnapshot
+	// The search-layer analogues: op counting in the step-level runtime,
+	// walk telemetry in the explorer, and cell telemetry in the experiment
+	// engine. Like the native gate, each resolves at construction time
+	// (runtimes, walks, engine runs started after the call), and none of
+	// them feeds back into rendered reports or tables.
+	SimEnableMetrics       = sim.EnableMetrics
+	SimMetricsSnapshot     = sim.MetricsSnapshot
+	ExploreEnableMetrics   = explore.EnableMetrics
+	ExploreMetricsSnapshot = explore.MetricsSnapshot
+	ExpEnableMetrics       = exp.EnableMetrics
+	ExpMetricsSnapshot     = exp.MetricsSnapshot
 	// NewScenario builds a backend-independent scenario; DetectorByName
 	// resolves a detector family for CLI use.
 	NewScenario    = core.NewScenario
