@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# wait-http.sh URL [TIMEOUT_SECONDS]
+#
+# Bounded retry loop until an HTTP endpoint answers 2xx: polls every 100ms
+# up to TIMEOUT_SECONDS (default 30), exiting 0 the moment the endpoint is
+# up and 1 when the budget runs out. The CI -http smoke jobs use this
+# instead of a fixed sleep before curling a just-launched server: a fixed
+# sleep is both too slow (the server is typically up in well under a
+# second) and too brittle (a cold runner can take longer than any fixed
+# guess, failing the probe spuriously).
+set -euo pipefail
+
+url=${1:?usage: wait-http.sh URL [TIMEOUT_SECONDS]}
+timeout=${2:-30}
+
+for ((i = 0; i < timeout * 10; i++)); do
+  if curl -sf -o /dev/null "$url"; then
+    exit 0
+  fi
+  sleep 0.1
+done
+echo "wait-http: $url not answering after ${timeout}s" >&2
+exit 1

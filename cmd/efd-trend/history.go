@@ -2,8 +2,10 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -34,9 +36,60 @@ type historyEntry struct {
 	Runs      int64   `json:"runs,omitempty"`
 }
 
+// maxHistoryLine bounds one history line; a line past it is a corrupt or
+// foreign file, not a grown schema (real summary lines are ~200 bytes).
+const maxHistoryLine = 1 << 20
+
+// historyWarnf reports tolerated history anomalies (the torn final line). A
+// package variable so tests capture the warning instead of scraping stderr.
+var historyWarnf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format, a...) }
+
+// readHistoryLine returns the next line without its newline, whether the
+// newline was present, and whether the line exceeded maxHistoryLine (the
+// overflow is drained through the newline or EOF so later lines keep their
+// numbering; an oversized line's content is discarded). At clean EOF it
+// returns (nil, false, false, nil).
+func readHistoryLine(r *bufio.Reader) (line []byte, terminated, oversized bool, err error) {
+	var buf []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		if err == nil {
+			frag = frag[:len(frag)-1] // the newline is not line content
+		}
+		if !oversized {
+			buf = append(buf, frag...)
+			if len(buf) > maxHistoryLine {
+				buf, oversized = nil, true
+			}
+		}
+		switch err {
+		case nil:
+			return buf, true, oversized, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			return buf, false, oversized, nil
+		default:
+			return nil, false, false, err
+		}
+	}
+}
+
 // parseHistory reads a history file. A missing file is an empty history
-// (the first CI run starts the log); a malformed line is an input error —
-// the caller exits 2, the same class as a malformed artifact.
+// (the first CI run starts the log); a malformed INTERIOR line is an input
+// error — the caller exits 2, the same class as a malformed artifact.
+//
+// The one tolerated corruption is a torn final write: appendHistory writes
+// whole lines, so a crash or full disk mid-append leaves at most one
+// trailing line without its newline. A final newline-less line that fails
+// to decode or validate (or blows the line cap) is therefore warned about
+// and skipped — everything before it is intact by construction — while the
+// same defect on an interior line still fails the parse, because a newline
+// AFTER garbage means the file was damaged some other way. A final
+// newline-less line that parses and validates is kept: it is
+// indistinguishable from a complete entry whose trailing newline was
+// hand-trimmed, and dropping a valid entry would silently shrink the gate's
+// window.
 func parseHistory(path string) ([]historyEntry, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -46,43 +99,80 @@ func parseHistory(path string) ([]historyEntry, error) {
 		return nil, err
 	}
 	defer f.Close()
+	r := bufio.NewReader(f)
 	var out []historyEntry
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
-	for sc.Scan() {
+	for {
+		raw, terminated, oversized, err := readHistoryLine(r)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line+1, err)
+		}
+		if !terminated && !oversized && len(raw) == 0 {
+			return out, nil // clean EOF
+		}
 		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
 		var e historyEntry
-		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("%s:%d: malformed history line: %v", path, line, err)
+		var lerr error
+		switch {
+		case oversized:
+			lerr = fmt.Errorf("%s:%d: history line exceeds %d bytes", path, line, maxHistoryLine)
+		case len(raw) == 0:
+			// Blank interior line: harmless concatenation artifact.
+		default:
+			if e, lerr = decodeHistoryLine(raw); lerr != nil {
+				lerr = fmt.Errorf("%s:%d: %v", path, line, lerr)
+			}
 		}
-		if e.Scenario == "" {
-			return nil, fmt.Errorf("%s:%d: history line without a scenario", path, line)
+		if lerr != nil {
+			if !terminated {
+				historyWarnf("efd-trend: warning: %v — no trailing newline, treating as a torn final write and skipping the entry\n", lerr)
+				return out, nil
+			}
+			return nil, lerr
 		}
-		if e.OpsPerSec <= 0 {
-			return nil, fmt.Errorf("%s:%d: history line with non-positive ops_per_sec", path, line)
+		if len(raw) > 0 {
+			out = append(out, e)
 		}
-		out = append(out, e)
+		if !terminated {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+}
+
+// decodeHistoryLine decodes and validates one line's content, shared by the
+// parser and the pre-append tail audit so the two can never disagree about
+// what a valid entry is.
+func decodeHistoryLine(raw []byte) (historyEntry, error) {
+	var e historyEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return historyEntry{}, fmt.Errorf("malformed history line: %v", err)
 	}
-	return out, nil
+	if e.Scenario == "" {
+		return historyEntry{}, fmt.Errorf("history line without a scenario")
+	}
+	if e.OpsPerSec <= 0 {
+		return historyEntry{}, fmt.Errorf("history line with non-positive ops_per_sec")
+	}
+	return e, nil
 }
 
 // appendHistory appends one summary line per report to the history file,
-// creating it if needed.
+// creating it if needed. All lines are marshaled up front and appended in
+// ONE Write on an O_APPEND descriptor: the kernel applies the whole buffer
+// at the file's end atomically with respect to other appenders, so a
+// concurrent CI run never interleaves half-lines into ours, and a crash
+// mid-append tears at most the final line — exactly the corruption
+// parseHistory tolerates.
+//
+// Before writing, a newline-less tail left by an earlier torn append is
+// repaired — otherwise this append would concatenate onto the fragment and
+// turn a tolerated torn tail into permanent interior damage that fails
+// every later run. A tail that decodes as a valid entry is sealed with the
+// newline it is missing; an invalid fragment is truncated away (parseHistory
+// was already skipping it).
 func appendHistory(path string, reps []*native.StressReport) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	ts := time.Now().UTC().Format(time.RFC3339)
+	var buf []byte
 	for _, r := range reps {
 		e := historyEntry{
 			TS:        ts,
@@ -97,11 +187,45 @@ func appendHistory(path string, reps []*native.StressReport) error {
 		if err != nil {
 			return err
 		}
-		if _, err := f.Write(append(b, '\n')); err != nil {
-			return err
+		buf = append(append(buf, b...), '\n')
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if size := st.Size(); size > 0 {
+		// Histories are a line per scenario per CI run — small enough to
+		// read whole for the tail audit.
+		data := make([]byte, size)
+		if _, err := f.ReadAt(data, 0); err != nil {
+			return fail(err)
+		}
+		if data[size-1] != '\n' {
+			idx := bytes.LastIndexByte(data, '\n')
+			tail := data[idx+1:]
+			_, derr := decodeHistoryLine(tail)
+			if len(tail) <= maxHistoryLine && derr == nil {
+				buf = append([]byte{'\n'}, buf...) // seal the valid entry
+			} else if err := f.Truncate(int64(idx + 1)); err != nil {
+				return fail(err)
+			}
 		}
 	}
-	return nil
+	if _, err := f.Write(buf); err != nil {
+		return fail(err)
+	}
+	return f.Close()
 }
 
 // checkHistory gates each report's ops/sec against the scenario's recent

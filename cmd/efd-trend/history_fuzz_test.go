@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// historyOracle is the specification parseHistory is fuzzed against: split
+// on newlines (every segment but the last is terminated), a line is valid
+// when it fits the cap, decodes, and carries a scenario and positive
+// ops/sec; an invalid TERMINATED line fails the parse, an invalid final
+// unterminated line is skipped as a torn write, and blank lines are
+// ignored. It trades the streaming reader for whole-input bytes.Split, so
+// any divergence is a parseHistory bug, not a shared one.
+func historyOracle(data []byte) (entries []historyEntry, ok bool) {
+	lines := bytes.Split(data, []byte("\n"))
+	for i, ln := range lines {
+		terminated := i < len(lines)-1
+		if len(ln) == 0 {
+			continue
+		}
+		var e historyEntry
+		valid := len(ln) <= maxHistoryLine &&
+			json.Unmarshal(ln, &e) == nil && e.Scenario != "" && e.OpsPerSec > 0
+		if !valid {
+			if terminated {
+				return nil, false
+			}
+			return entries, true // torn final write: skip
+		}
+		entries = append(entries, e)
+	}
+	return entries, true
+}
+
+// FuzzParseHistory drives parseHistory with arbitrary bytes — torn tails,
+// oversized lines, interleaved and unknown schemas — and checks it against
+// the split-based oracle: it must never panic, must accept exactly the
+// inputs the oracle accepts, and must return exactly the oracle's entries.
+func FuzzParseHistory(f *testing.F) {
+	good := `{"scenario": "consensus/n=4/omega", "ops_per_sec": 50000, "p50_ns": 80000}`
+	seeds := [][]byte{
+		nil,
+		[]byte("\n"),
+		[]byte(good + "\n"),
+		[]byte(good),                        // valid but unterminated
+		[]byte(good + "\n" + good[:30]),     // torn tail after a valid line
+		[]byte(good[:30] + "\n" + good),     // interior damage
+		[]byte(good + "\n\n" + good + "\n"), // blank interior line
+		[]byte(`{"ops_per_sec": 1}` + "\n"), // no scenario
+		[]byte(`{"scenario": "x"}` + "\n"),  // no ops
+		[]byte(`{"scenario": "x", "ops_per_sec": 2, "unknown_field": [1,2]}` + "\n"),
+		[]byte(`{"scenario": "` + strings.Repeat("y", maxHistoryLine) + `", "ops_per_sec": 1}` + "\n"),
+		[]byte("\xff\xfe{not json}\n" + good + "\n"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prev := historyWarnf
+		historyWarnf = func(format string, a ...any) {}
+		defer func() { historyWarnf = prev }()
+		path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := parseHistory(path)
+		want, ok := historyOracle(data)
+		if (err == nil) != ok {
+			t.Fatalf("parseHistory err = %v, oracle ok = %v for %q", err, ok, truncateForLog(data))
+		}
+		if err != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parseHistory returned %d entries, oracle %d for %q", len(got), len(want), truncateForLog(data))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("entry %d: parseHistory %+v, oracle %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func truncateForLog(data []byte) []byte {
+	if len(data) > 256 {
+		return data[:256]
+	}
+	return data
+}

@@ -244,9 +244,26 @@ func main() {
 	flag.Var(&opt.maxP99, "max-p99", "decision-latency p99 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
 	flag.Var(&opt.maxP999, "max-p999", "decision-latency p99.9 ceiling, [scenarioPrefix:]duration (repeatable; longest matching prefix wins)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "efd-trend: exactly one BENCH_native.json argument required")
+	badFlag := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "efd-trend: "+format+"\n", a...)
+		flag.Usage()
 		os.Exit(2)
+	}
+	if flag.NArg() != 1 {
+		badFlag("exactly one BENCH_native.json argument required")
+	}
+	// Gate parameters outside their meaningful ranges silently disable or
+	// invert the checks they tune (-history-frac 0 can never fail, 1.5
+	// always fails; -history-window 0 gates on an empty window), so they
+	// are flag errors, not configurations.
+	if *minFrac <= 0 || *minFrac > 1 {
+		badFlag("-min-frac must be in (0,1], got %v", *minFrac)
+	}
+	if *histWindow < 1 {
+		badFlag("-history-window must be at least 1, got %d", *histWindow)
+	}
+	if *histFrac <= 0 || *histFrac > 1 {
+		badFlag("-history-frac must be in (0,1], got %v", *histFrac)
 	}
 	opt.minOps, opt.minFrac = *minOps, *minFrac
 	reps, err := parseReports(flag.Arg(0))

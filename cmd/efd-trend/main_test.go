@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -394,11 +395,15 @@ func TestParseHistoryMalformedLines(t *testing.T) {
 		}
 		return path
 	}
+	// Malformed lines sealed by a newline are file damage, not a torn
+	// write — the parse must fail so the gate never runs over a history it
+	// cannot trust.
 	for _, bad := range []string{
-		`{"scenario": "consensus", "ops_per_sec": 100`,          // truncated JSON
-		`{"ts": "2026-08-08T00:00:00Z", "ops_per_sec": 100}`,    // no scenario
-		`{"scenario": "consensus", "ops_per_sec": 0}`,           // non-positive ops
-		`{"scenario": "consensus", "ops_per_sec": 100}` + "\nx", // good line then garbage
+		`{"scenario": "consensus", "ops_per_sec": 100` + "\n",          // truncated JSON, interior
+		`{"ts": "2026-08-08T00:00:00Z", "ops_per_sec": 100}` + "\n",    // no scenario
+		`{"scenario": "consensus", "ops_per_sec": 0}` + "\n",           // non-positive ops
+		`{"scenario": "consensus", "ops_per_sec": 100}` + "\nx\n",      // good line then garbage
+		"x\n" + `{"scenario": "consensus", "ops_per_sec": 100}` + "\n", // garbage before a good line
 	} {
 		if _, err := parseHistory(write(bad)); err == nil {
 			t.Errorf("parseHistory accepted malformed content %q", bad)
@@ -412,6 +417,129 @@ func TestParseHistoryMalformedLines(t *testing.T) {
 	hist, err := parseHistory(write(`{"scenario": "consensus", "ops_per_sec": 100}` + "\n\n"))
 	if err != nil || len(hist) != 1 {
 		t.Errorf("blank-line file: got %d entries, %v; want 1, nil", len(hist), err)
+	}
+}
+
+// captureHistoryWarnings redirects the torn-write warning into a slice for
+// the duration of the test.
+func captureHistoryWarnings(t *testing.T) *[]string {
+	t.Helper()
+	var warnings []string
+	prev := historyWarnf
+	historyWarnf = func(format string, a ...any) { warnings = append(warnings, fmt.Sprintf(format, a...)) }
+	t.Cleanup(func() { historyWarnf = prev })
+	return &warnings
+}
+
+func TestParseHistoryTornFinalLine(t *testing.T) {
+	write := func(content string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := `{"scenario": "consensus", "ops_per_sec": 100}` + "\n"
+	// A final newline-less line that fails to decode or validate is a torn
+	// append: warned about, skipped, everything before it kept.
+	for _, torn := range []string{
+		`{"scenario": "consensus", "ops_per`,         // cut mid-JSON
+		`{"scenario": "consensus", "ops_per_sec": 0`, // cut mid-number
+		`{"scenario": "conse`,
+	} {
+		warnings := captureHistoryWarnings(t)
+		hist, err := parseHistory(write(good + good + torn))
+		if err != nil {
+			t.Fatalf("torn final line %q not tolerated: %v", torn, err)
+		}
+		if len(hist) != 2 {
+			t.Fatalf("torn final line %q: got %d entries, want 2", torn, len(hist))
+		}
+		if len(*warnings) != 1 || !strings.Contains((*warnings)[0], ":3:") {
+			t.Fatalf("torn final line %q: warnings = %q, want one naming line 3", torn, *warnings)
+		}
+	}
+	// A final newline-less line that parses and validates is a complete
+	// entry missing only its newline — kept, no warning.
+	warnings := captureHistoryWarnings(t)
+	hist, err := parseHistory(write(good + `{"scenario": "consensus", "ops_per_sec": 50}`))
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("valid newline-less final line: got %d entries, %v; want 2, nil", len(hist), err)
+	}
+	if hist[1].OpsPerSec != 50 {
+		t.Fatalf("final entry = %+v", hist[1])
+	}
+	if len(*warnings) != 0 {
+		t.Fatalf("valid final line warned: %q", *warnings)
+	}
+}
+
+func TestParseHistoryOversizedLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_history.jsonl")
+	good := `{"scenario": "consensus", "ops_per_sec": 100}` + "\n"
+	huge := `{"scenario": "` + strings.Repeat("x", maxHistoryLine) + `", "ops_per_sec": 1}`
+	// Interior oversized line: an error naming the line, later lines still
+	// counted correctly (the overflow is drained through its newline).
+	if err := os.WriteFile(path, []byte(good+huge+"\n"+good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := parseHistory(path)
+	if err == nil || !strings.Contains(err.Error(), ":2:") || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("interior oversized line: err = %v, want one naming line 2", err)
+	}
+	// Oversized torn final line: tolerated like any torn final write.
+	if err := os.WriteFile(path, []byte(good+huge), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warnings := captureHistoryWarnings(t)
+	hist, err := parseHistory(path)
+	if err != nil || len(hist) != 1 {
+		t.Fatalf("oversized torn final line: got %d entries, %v; want 1, nil", len(hist), err)
+	}
+	if len(*warnings) != 1 {
+		t.Fatalf("oversized torn final line: warnings = %q", *warnings)
+	}
+}
+
+func TestAppendHistoryRepairsTornTail(t *testing.T) {
+	good := `{"scenario": "consensus/n=4/omega", "ops_per_sec": 100}` + "\n"
+	reps := []*native.StressReport{rep("consensus/n=4/omega", 4000, time.Millisecond, time.Millisecond)}
+	// An invalid torn fragment is truncated away before the append, so the
+	// next parse sees only whole valid lines and no warning.
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	if err := os.WriteFile(path, []byte(good+`{"scenario": "consensus/n=4/om`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, reps); err != nil {
+		t.Fatal(err)
+	}
+	warnings := captureHistoryWarnings(t)
+	hist, err := parseHistory(path)
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("after append over torn tail: got %d entries, %v; want 2, nil", len(hist), err)
+	}
+	if hist[0].OpsPerSec != 100 || hist[1].OpsPerSec != 4000 {
+		t.Fatalf("entries = %+v", hist)
+	}
+	if len(*warnings) != 0 {
+		t.Fatalf("repaired file still warns: %q", *warnings)
+	}
+	// A VALID newline-less tail is an entry, not a torn write: it gets its
+	// newline sealed in, never truncated.
+	if err := os.WriteFile(path, []byte(good+`{"scenario": "consensus/n=4/omega", "ops_per_sec": 200}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, reps); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = parseHistory(path)
+	if err != nil || len(hist) != 3 {
+		t.Fatalf("after append over valid tail: got %d entries, %v; want 3, nil", len(hist), err)
+	}
+	if hist[1].OpsPerSec != 200 {
+		t.Fatalf("sealed entry = %+v", hist[1])
 	}
 }
 

@@ -59,6 +59,15 @@ func conformanceGrid() []core.ScenarioParams {
 		{Task: "consensus", N: 4, Crash: 1, CrashAt: 30, Stabilize: 20, Advice: "event"},
 		{Task: "kset", N: 4, K: 2, Stabilize: 20, Advice: "event"},
 		{Task: "renaming", N: 4, J: 3, K: 2, Stabilize: 20, Advice: "event"},
+		// The kv scenario's ∆ is linearizability of the clerk sessions:
+		// small scripts keep the history inside the trustless DFS search,
+		// so both backends' session sets are certified linearizable, not
+		// just replay-consistent. The crash row kills the acting leader
+		// (kv crashes lowest indices; LiveOmega advises the lowest live
+		// replica) and exercises re-proposal plus (client,seq) dedup.
+		{Task: "kv", N: 3, Stabilize: 20},
+		{Task: "kv", N: 3, Crash: 1, CrashAt: 30, Stabilize: 20},
+		{Task: "kv", N: 3, Stabilize: 20, Advice: "event"},
 	}
 }
 
@@ -66,7 +75,7 @@ func TestBackendConformance(t *testing.T) {
 	grid := conformanceGrid()
 	seeds := 2
 	if testing.Short() {
-		grid = []core.ScenarioParams{grid[0], grid[2], grid[5], grid[7], grid[8], grid[10]}
+		grid = []core.ScenarioParams{grid[0], grid[2], grid[5], grid[7], grid[8], grid[10], grid[14]}
 		seeds = 1
 	}
 	for _, p := range grid {

@@ -6,6 +6,7 @@ import (
 
 	"wfadvice/internal/auto"
 	"wfadvice/internal/fdet"
+	"wfadvice/internal/kv"
 	"wfadvice/internal/native"
 	"wfadvice/internal/sim"
 	"wfadvice/internal/task"
@@ -115,7 +116,9 @@ type ScenarioParams struct {
 }
 
 // ScenarioTasks lists the valid ScenarioParams.Task values.
-func ScenarioTasks() []string { return []string{"consensus", "kset", "renaming", "prop1", "nset"} }
+func ScenarioTasks() []string {
+	return []string{"consensus", "kset", "renaming", "prop1", "nset", "kv"}
+}
 
 // ScenarioDetectors lists the valid ScenarioParams.Detector values.
 func ScenarioDetectors() []string { return []string{"omega", "vector", "trivial"} }
@@ -145,7 +148,15 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 	}
 	crashAt := map[int]fdet.Time{}
 	for c := 0; c < p.Crash; c++ {
-		crashAt[p.N-1-c] = p.CrashAt * fdet.Time(c+1)
+		// kv crashes LOWEST indices first: its LiveOmega advice elects the
+		// lowest live replica, so each crash kills the acting leader and
+		// leadership migrates. Every other task crashes highest-first,
+		// leaving the advised MinCorrect leader standing.
+		if p.Task == "kv" {
+			crashAt[c] = p.CrashAt * fdet.Time(c+1)
+		} else {
+			crashAt[p.N-1-c] = p.CrashAt * fdet.Time(c+1)
+		}
 	}
 	pat := fdet.NewPattern(p.N, crashAt)
 	park, err := ParsePark(p.Park)
@@ -273,6 +284,24 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 			Factory: func(i int, input sim.Value) auto.Automaton { return wfree.NewProp1(tk, i, input) }}
 		s.CBody, s.SBody = mc.SolverCBody, mc.SolverSBody
 		s.Name = fmt.Sprintf("prop1/n=%d/vector", p.N)
+	case "kv":
+		if _, err := pick("omega", "omega"); err != nil {
+			return nil, err
+		}
+		// The replicated KV service: clerks run a fixed deterministic script
+		// (seeded from their input), replicas chain paxos instances into a
+		// log under LiveOmega advice — an Ω history that tracks the lowest
+		// LIVE replica, so with Crash > 0 the advised leader actually dies
+		// and leadership migrates. The task's ∆ is linearizability of the
+		// decided sessions.
+		s.Task = kv.NewTask(p.N)
+		s.Inputs = intIn()
+		s.Registers = kvRegisters(p.N, p.N, kvScriptOps)
+		s.Detector = fdet.LiveOmega{}
+		rc := kv.ReplicaConfig{NC: p.N, NS: p.N, LeaseReads: true, Pause: park.Pause}
+		cc := kv.ClerkConfig{NC: p.N, NS: p.N, Ops: kvScriptOps, Pause: park.Pause}
+		s.CBody, s.SBody = cc.Body, rc.Body
+		s.Name = fmt.Sprintf("kv/n=%d/omega", p.N)
 	case "nset":
 		if _, err := pick("trivial", "trivial"); err != nil {
 			return nil, err
@@ -301,6 +330,23 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		s.Name += "/advice=" + advice.String()
 	}
 	return s, nil
+}
+
+// kvScriptOps is the per-clerk script length of the kv scenario: small
+// enough that conformance histories stay inside the trustless DFS
+// linearization search, large enough to exercise batching, dedup and lease
+// reads.
+const kvScriptOps = 4
+
+// kvRegisters estimates the key population of a kv run: request/reply
+// pairs plus the log instances (at worst one slot per client op, each ns
+// blocks + a decision register).
+func kvRegisters(nc, ns, opsPerClerk int) int {
+	est := kv.Registers(nc, ns, nc*opsPerClerk)
+	if est > 1<<15 {
+		est = 1 << 15
+	}
+	return est
 }
 
 // directRegisters estimates the key population of a direct-solver run from

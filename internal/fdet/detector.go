@@ -92,7 +92,7 @@ func noiseRand(seed int64, i int, t Time) *rand.Rand {
 
 // DetectorNames lists the families resolvable by ByName.
 func DetectorNames() []string {
-	return []string{"trivial", "omega", "anti-omega", "vector-omega", "eventually-perfect"}
+	return []string{"trivial", "omega", "live-omega", "anti-omega", "vector-omega", "eventually-perfect"}
 }
 
 // ByName resolves a detector family by name; k parameterizes the ¬Ωk and
@@ -108,6 +108,8 @@ func ByName(name string, k int) (Detector, error) {
 		return Trivial{}, nil
 	case "omega":
 		return Omega{}, nil
+	case "live-omega":
+		return LiveOmega{}, nil
 	case "anti-omega":
 		return AntiOmegaK{K: k}, nil
 	case "vector-omega":
@@ -153,6 +155,51 @@ func (Omega) History(p Pattern, stabilize Time, seed int64) History {
 		}
 		return noiseRand(seed, i, t).Intn(p.N)
 	}, noisyUntil(stabilize))
+}
+
+// LiveOmega generates Ω histories whose post-stabilization output is the
+// lowest-indexed S-process still alive at query time. Crashes are finitely
+// many, so the output is eventually the constant MinCorrect — a legal Ω
+// history. Unlike Omega (which advises MinCorrect from the start and so
+// never advises a faulty process after stabilization), LiveOmega elects a
+// process that the pattern then kills: leadership visibly migrates at each
+// crash of the acting leader. efd-kv's -crash-leader runs use it to crash
+// the advised kv leader mid-batch and exercise the re-proposal/dedup path.
+type LiveOmega struct{}
+
+var _ Detector = LiveOmega{}
+
+// Name implements Detector.
+func (LiveOmega) Name() string { return "LiveOmega" }
+
+// History implements Detector.
+func (LiveOmega) History(p Pattern, stabilize Time, seed int64) History {
+	// Transitions: every tick while noisy, then each post-stabilization
+	// crash time (the only instants the min-alive process can change).
+	var crashes []Time
+	for i := 0; i < p.N; i++ {
+		if p.CrashAt[i] != NoCrash && p.CrashAt[i] >= stabilize {
+			crashes = append(crashes, p.CrashAt[i])
+		}
+	}
+	sort.Ints(crashes)
+	next := func(t Time) (Time, bool) {
+		if t < stabilize {
+			return t + 1, true
+		}
+		for _, ct := range crashes {
+			if ct > t {
+				return ct, true
+			}
+		}
+		return 0, false
+	}
+	return HistoryWithTransitions(func(i int, t Time) any {
+		if t < stabilize {
+			return noiseRand(seed, i, t).Intn(p.N)
+		}
+		return p.MinAlive(t)
+	}, next)
 }
 
 // CheckOmega audits a recorded output stream against Ω's property over the

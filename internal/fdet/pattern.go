@@ -95,6 +95,18 @@ func (p Pattern) MinCorrect() int {
 	panic("fdet: failure pattern with no correct S-process")
 }
 
+// MinAlive returns the smallest index of an S-process not yet crashed at
+// time t, falling back to MinCorrect if every process has crashed by t
+// (impossible in legal environments, which have a correct process).
+func (p Pattern) MinAlive(t Time) int {
+	for i := 0; i < p.N; i++ {
+		if !p.Crashed(i, t) {
+			return i
+		}
+	}
+	return p.MinCorrect()
+}
+
 // String implements fmt.Stringer.
 func (p Pattern) String() string {
 	f := p.FaultySet()

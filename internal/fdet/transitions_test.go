@@ -47,6 +47,8 @@ func TestTransitionsNeverMissAChange(t *testing.T) {
 		{"vector-omega-2/pinned", VectorOmegaK{K: 2, GoodPos: 0, Pinned: true}, FailureFree(n)},
 		{"vector-omega-1", VectorOmegaK{K: 1, GoodPos: 0}, FailureFree(n)},
 		{"eventually-perfect", EventuallyPerfect{}, crashy},
+		{"live-omega", LiveOmega{}, FailureFree(n)},
+		{"live-omega/crash", LiveOmega{}, crashy},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,144 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wfadvice/internal/sim"
+)
+
+// ClerkConfig parameterizes one clerk session (a C-process body). A clerk
+// issues a sequence of Get/Put requests through its request register, waits
+// for each reply, records the completed operations, and decides its
+// *Session — the decision value the kv task's linearizability check
+// validates.
+//
+// Two issue disciplines share the body. Script mode (Ops > 0, Clock nil) is
+// the sim/conformance workload: a fixed-length deterministic sequence
+// seeded from the process input. Open-loop mode (Clock non-nil) is the
+// native stress workload in the style of "Are Lock-Free Concurrent
+// Algorithms Practically Wait-Free?": operation k is due at k·Interval on a
+// global schedule regardless of completions, and the reported latency is
+// completion minus due time, so queueing delay counts against the service
+// instead of silently throttling the offered load.
+type ClerkConfig struct {
+	NC      int
+	NS      int
+	Ops     int     // script length; 0 in open-loop mode
+	Keys    int     // keyspace size (default 8)
+	PutFrac float64 // fraction of Puts (default 0.5)
+	Seed    int64   // base script seed; per-clerk seed adds the input
+	Pause   Pause
+
+	// Open-loop fields, set only by the native driver. Clock is ns since
+	// the run base (monotonic); Sleep blocks for the given ns. Both nil on
+	// sim, keeping sim bodies free of wall time.
+	Clock    func() int64
+	Sleep    func(ns int64)
+	Deadline int64 // stop issuing once Clock() or the next due time passes this
+	Interval int64 // ns between due times; 0 = closed loop (issue on completion)
+
+	// OnOp reports each completed operation and its due time (due==start
+	// outside open-loop mode) to the driver for per-run histograms.
+	OnOp func(rec OpRecord, due int64)
+}
+
+// Body returns clerk i's program.
+func (cfg ClerkConfig) Body(i int) sim.Body {
+	if cfg.Keys < 1 {
+		cfg.Keys = 8
+	}
+	if cfg.PutFrac == 0 {
+		cfg.PutFrac = 0.5
+	}
+	return func(e sim.Ops) {
+		h := newMetricsHandle()
+		req := e.Bind([]string{ReqKey(i)})
+		rep := e.Bind([]string{RepKey(i)})
+		seed := cfg.Seed
+		if in, ok := e.Input().(int); ok {
+			seed += int64(in)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]string, cfg.Keys)
+		for k := range keys {
+			keys[k] = fmt.Sprintf("k%d", k)
+		}
+		sess := &Session{Client: i}
+		for k := 0; ; k++ {
+			if cfg.Ops > 0 && k >= cfg.Ops {
+				break
+			}
+			var due int64
+			if cfg.Clock != nil {
+				now := cfg.Clock()
+				if now >= cfg.Deadline {
+					break
+				}
+				due = now
+				if cfg.Interval > 0 {
+					due = int64(k) * cfg.Interval
+					if due >= cfg.Deadline {
+						break
+					}
+					if wait := due - now; wait > 0 && cfg.Sleep != nil {
+						cfg.Sleep(wait)
+					}
+				}
+			}
+			key := keys[rng.Intn(cfg.Keys)]
+			op, arg := OpGet, int64(0)
+			if rng.Float64() < cfg.PutFrac {
+				op, arg = OpPut, rng.Int63n(1_000_000)+1
+			}
+			seq := k + 1
+			var start int64
+			if cfg.Clock != nil {
+				start = cfg.Clock()
+			}
+			req.Write(0, Request{Client: i, Seq: seq, Op: op, Key: key, Val: arg})
+			var r Reply
+			for {
+				seen := e.Epoch()
+				if v, ok := rep.Read(0).(Reply); ok && v.Seq == seq {
+					r = v
+					break
+				}
+				if cfg.Pause != nil {
+					cfg.Pause(e, seen)
+				}
+			}
+			var end int64
+			if cfg.Clock != nil {
+				end = cfg.Clock()
+			}
+			rec := OpRecord{
+				Op: op, Key: key, Arg: arg,
+				Out: r.Val, Ver: r.Ver, Lease: r.Lease,
+				Start: start, End: end,
+			}
+			sess.Ops = append(sess.Ops, rec)
+			if op == OpPut {
+				h.Inc(cOpPut)
+			} else {
+				h.Inc(cOpGet)
+			}
+			if cfg.Clock != nil {
+				lat := end - due
+				if op == OpPut {
+					latPut.Observe(lat)
+				} else {
+					latGet.Observe(lat)
+					if r.Lease {
+						latLease.Observe(lat)
+					}
+				}
+			}
+			if cfg.OnOp != nil {
+				cfg.OnOp(rec, due)
+			}
+		}
+		h.Inc(cSession)
+		e.Decide(sess)
+	}
+}

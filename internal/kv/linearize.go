@@ -1,0 +1,200 @@
+package kv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Linearizability checking, two ways.
+//
+// CheckSessions is the scalable check: it trusts the version stamps the
+// service itself handed out. Every fresh log apply bumps a global version;
+// a lease read carries the version of the state it saw. Sorting all
+// records by (version, lease-after-applied) yields the claimed
+// linearization; the check replays it against a model map and verifies
+// every returned value, per-session version monotonicity, and — when
+// timestamps are present (native) — that the claimed order respects
+// real-time (an op that completed before another was invoked must
+// linearize first). Millions of ops, O(n log n).
+//
+// CheckLinearizable is the trustless check for small histories: a
+// Wing&Gong-style DFS over interleavings of the per-session sequences,
+// using only invocation order and results. It certifies that SOME legal
+// linearization exists without believing any stamp the implementation
+// produced. The conformance grid runs it on both backends.
+
+// record pairs an OpRecord with its session for error reporting.
+type record struct {
+	c   int
+	idx int
+	OpRecord
+}
+
+func (r record) String() string {
+	return fmt.Sprintf("c%d[%d] %s %s(arg=%d)=%d ver=%d lease=%v",
+		r.c, r.idx, r.Op, r.Key, r.Arg, r.Out, r.Ver, r.Lease)
+}
+
+// CheckSessions validates client sessions against the replicated-map
+// semantics. complete says every participating clerk's session is present;
+// with sessions missing (an undecided clerk cut off by a run budget), the
+// global replay is skipped — absent writes would make it unsound — and
+// only the per-session and real-time checks run.
+func CheckSessions(sessions []*Session, complete bool) error {
+	var all []record
+	for _, s := range sessions {
+		prevVer := int64(-1)
+		prevLease := false
+		for i, op := range s.Ops {
+			r := record{c: s.Client, idx: i, OpRecord: op}
+			if op.Lease && op.Op != OpGet {
+				return fmt.Errorf("kv: lease-served write: %v", r)
+			}
+			if prevVer >= 0 {
+				// Within a session ops are sequential, so versions grow.
+				// Equality is legal only for a lease read directly after
+				// the op whose version it observed.
+				if op.Ver < prevVer || (op.Ver == prevVer && !op.Lease) {
+					return fmt.Errorf("kv: session version not monotone: %v after ver=%d (lease=%v)",
+						r, prevVer, prevLease)
+				}
+			}
+			if !op.Lease && op.Ver < 1 {
+				return fmt.Errorf("kv: applied op without a version: %v", r)
+			}
+			prevVer, prevLease = op.Ver, op.Lease
+			all = append(all, r)
+		}
+	}
+	// The claimed linearization: version order, applied op before the
+	// lease reads that observed its state. Lease reads sharing a version
+	// commute — they return the same snapshot and mutate nothing — so the
+	// checker may pick any order among them; it picks invocation order,
+	// which is the one order that can never manufacture a real-time
+	// violation inside the tie group (a later-start read sorts later, and
+	// every read's completion follows its own start). On the sim backend
+	// Start is uniformly zero and the tie-break is inert.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Ver != all[j].Ver {
+			return all[i].Ver < all[j].Ver
+		}
+		if all[i].Lease != all[j].Lease {
+			return !all[i].Lease
+		}
+		return all[i].Start < all[j].Start
+	})
+	if complete {
+		state := make(map[string]int64)
+		var lastApplied int64
+		for _, r := range all {
+			if !r.Lease {
+				if r.Ver == lastApplied {
+					return fmt.Errorf("kv: duplicate applied version %d at %v", r.Ver, r)
+				}
+				lastApplied = r.Ver
+			}
+			if cur := state[r.Key]; r.Out != cur {
+				return fmt.Errorf("kv: replay mismatch at %v: state has %s=%d", r, r.Key, cur)
+			}
+			if r.Op == OpPut {
+				state[r.Key] = r.Arg
+			}
+		}
+	}
+	// Real-time order: an op that completed before another started must
+	// not linearize after it. Reverse scan: minEnd is the earliest
+	// completion among ops placed later in the claimed order.
+	timed := all[:0:0]
+	for _, r := range all {
+		if r.End > 0 {
+			timed = append(timed, r)
+		}
+	}
+	minEnd := int64(1<<63 - 1)
+	for i := len(timed) - 1; i >= 0; i-- {
+		if timed[i].Start > minEnd {
+			return fmt.Errorf("kv: real-time violation: %v invoked after a later-linearized op completed (start=%d > min later end=%d)",
+				timed[i], timed[i].Start, minEnd)
+		}
+		if timed[i].End < minEnd {
+			minEnd = timed[i].End
+		}
+	}
+	return nil
+}
+
+// CheckLinearizable searches for a legal sequential interleaving of the
+// sessions using only results (version stamps and timestamps ignored). It
+// is exponential in the worst case; callers gate it to histories of at
+// most maxOps operations (it returns nil, vacuously, above that).
+func CheckLinearizable(sessions []*Session, maxOps int) error {
+	total := 0
+	for _, s := range sessions {
+		total += len(s.Ops)
+	}
+	if total == 0 || total > maxOps {
+		return nil
+	}
+	idx := make([]int, len(sessions))
+	state := make(map[string]int64)
+	seen := make(map[string]bool)
+	if searchLin(sessions, idx, state, seen, total) {
+		return nil
+	}
+	return fmt.Errorf("kv: no legal linearization of %d ops across %d sessions", total, len(sessions))
+}
+
+// searchLin tries to extend the current interleaving by one op from any
+// session. seen memoizes dead (indices, state) configurations.
+func searchLin(sessions []*Session, idx []int, state map[string]int64, seen map[string]bool, left int) bool {
+	if left == 0 {
+		return true
+	}
+	key := cfgKey(idx, state)
+	if seen[key] {
+		return false
+	}
+	for i, s := range sessions {
+		j := idx[i]
+		if j >= len(s.Ops) {
+			continue
+		}
+		op := s.Ops[j]
+		if op.Out != state[op.Key] {
+			continue // this op cannot linearize here
+		}
+		idx[i]++
+		if op.Op == OpPut {
+			prev := state[op.Key]
+			state[op.Key] = op.Arg
+			if searchLin(sessions, idx, state, seen, left-1) {
+				return true
+			}
+			state[op.Key] = prev
+		} else if searchLin(sessions, idx, state, seen, left-1) {
+			return true
+		}
+		idx[i]--
+	}
+	seen[key] = true
+	return false
+}
+
+// cfgKey encodes (indices, state) for memoization.
+func cfgKey(idx []int, state map[string]int64) string {
+	keys := make([]string, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, i := range idx {
+		fmt.Fprintf(&b, "%d,", i)
+	}
+	b.WriteByte('|')
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d,", k, state[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+package kv
+
+import (
+	"wfadvice/internal/obs"
+	"wfadvice/internal/paxos"
+	"wfadvice/internal/sim"
+)
+
+// ReplicaConfig parameterizes one replica (an S-process body).
+type ReplicaConfig struct {
+	NC     int // clerks
+	NS     int // replicas
+	Shards int // state-machine shards (default 4)
+	// LeaseReads serves pure Gets from the leader's applied state under a
+	// one-read frontier check instead of a log round.
+	LeaseReads bool
+	// MaxBatch caps requests per proposed batch (default NC).
+	MaxBatch int
+	// Pause parks the loop when an iteration makes no progress.
+	Pause Pause
+}
+
+// replica is the per-body state of the server loop.
+type replica struct {
+	cfg  ReplicaConfig
+	me   int
+	e    sim.Ops
+	h    obs.Handle
+	reqs sim.Regs
+	reps sim.Regs
+	log  *paxos.Log
+	st   *State
+
+	reqBuf     []sim.Value
+	next       int     // apply frontier: first undecided slot
+	repWritten []Reply // last reply this replica wrote per clerk
+	leaseSeq   []int   // highest lease-served seq per clerk
+
+	inflight bool      // a proposed batch is riding the log
+	slot     int       // its slot
+	flight   []Request // its requests (for pending-suppression)
+	batchSeq int64
+
+	// batch is per-iteration scratch, reused across iterations.
+	batch []Request
+}
+
+// Body returns replica me's program. The loop is: query advice, apply
+// everything decided (Sweep), harvest the request registers in one batched
+// collect, serve what it can (recorded replies, lease reads), batch the
+// rest into one proposal, drive the in-flight proposal a burst of steps,
+// and park when none of that made progress.
+func (cfg ReplicaConfig) Body(me int) sim.Body {
+	if cfg.Shards < 1 {
+		cfg.Shards = 4
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = cfg.NC
+	}
+	return func(e sim.Ops) {
+		r := &replica{
+			cfg:        cfg,
+			me:         me,
+			e:          e,
+			h:          newMetricsHandle(),
+			reqs:       e.Bind(ReqKeys(cfg.NC)),
+			reps:       e.Bind(RepKeys(cfg.NC)),
+			log:        paxos.NewLog(e, LogPrefix, me, cfg.NS),
+			st:         NewState(cfg.NC, cfg.Shards),
+			reqBuf:     make([]sim.Value, cfg.NC),
+			repWritten: make([]Reply, cfg.NC),
+			leaseSeq:   make([]int, cfg.NC),
+		}
+		r.run()
+	}
+}
+
+func (r *replica) run() {
+	// burst bounds how many proposer steps one iteration drives: enough
+	// for both phases of an uncontested instance, so a committed batch
+	// costs one iteration, not 2n+3.
+	burst := 2*(r.cfg.NS+2) + 2
+	for {
+		seen := r.e.Epoch()
+		leader, _ := r.e.QueryFD().(int)
+		lead := leader == r.me
+
+		progress := r.apply(lead)
+		if r.serve(lead) {
+			progress = true
+		}
+		if r.inflight {
+			n := 1 // non-leaders only poll the slot's decision register
+			if lead {
+				n = burst
+			}
+			for i := 0; i < n; i++ {
+				v, ok := r.log.Proposer(r.slot).StepOp(lead)
+				if !ok {
+					continue
+				}
+				r.settle(v)
+				progress = true
+				break
+			}
+		}
+		if !progress && !(lead && r.inflight) && r.cfg.Pause != nil {
+			r.cfg.Pause(r.e, seen)
+		}
+	}
+}
+
+// apply sweeps newly decided log entries into the state machine and, when
+// leading, delivers the resulting replies.
+func (r *replica) apply(lead bool) bool {
+	moved := false
+	r.next = r.log.Sweep(r.next, func(slot int, v paxos.Value) bool {
+		moved = true
+		if b, ok := v.(Batch); ok {
+			r.h.Inc(cApply)
+			for _, req := range b.Reqs {
+				rep, fresh := r.st.ApplyReq(req)
+				if !fresh {
+					r.h.Inc(cDedupHit)
+					continue
+				}
+				if lead {
+					r.deliver(req.Client, rep)
+				}
+			}
+		}
+		r.log.Release(slot)
+		return true
+	})
+	return moved
+}
+
+// deliver writes a reply register unless this replica already wrote that
+// exact reply.
+func (r *replica) deliver(c int, rep Reply) {
+	if r.repWritten[c] == rep {
+		return
+	}
+	r.reps.Write(c, rep)
+	r.repWritten[c] = rep
+}
+
+// serve handles the pending request registers: recorded replies for
+// already-applied requests (the retransmit path after a leadership
+// change), lease reads for pure Gets, and a batch proposal for the rest.
+// Only the advised leader serves; followers just keep applying.
+func (r *replica) serve(lead bool) bool {
+	if !lead {
+		return false
+	}
+	r.reqs.ReadMany(r.reqBuf)
+	// The lease frontier check: one read of the apply-frontier decision
+	// register. If it is still undecided, no operation anywhere has
+	// committed beyond what this replica has applied (decisions are
+	// gap-free: a decided slot implies all earlier slots decided), so the
+	// local state is the latest committed state and a Get served from it
+	// linearizes at this read. Checked lazily, once per iteration.
+	frontierOK, frontierChecked := false, false
+	clean := func() bool {
+		if !frontierChecked {
+			_, decided := r.log.Decided(r.next)
+			frontierOK = !decided
+			frontierChecked = true
+		}
+		return frontierOK
+	}
+	progress := false
+	r.batch = r.batch[:0]
+	for c := 0; c < r.cfg.NC; c++ {
+		req, ok := r.reqBuf[c].(Request)
+		if !ok {
+			continue
+		}
+		switch {
+		case req.Seq <= r.st.Applied(c):
+			// Applied (by us or a predecessor's batch): deliver the
+			// recorded reply. A rewrite after a leadership change is the
+			// retransmit that unsticks a clerk whose reply was lost.
+			if rep := r.st.LastReply(c); r.repWritten[c] != rep {
+				r.h.Inc(cRetransmit)
+				r.deliver(c, rep)
+				progress = true
+			}
+		case r.leaseSeq[c] >= req.Seq:
+			// Already lease-served; waiting for the clerk to consume it.
+		case r.inflight && r.inBatch(c, req.Seq):
+			// Riding the in-flight proposal.
+		case r.cfg.LeaseReads && req.Op == OpGet && clean():
+			rep := Reply{Seq: req.Seq, Val: r.st.Get(req.Key), Ver: r.st.Ver(), Lease: true}
+			r.deliver(c, rep)
+			r.leaseSeq[c] = req.Seq
+			r.h.Inc(cLeaseRead)
+			progress = true
+		default:
+			if req.Op == OpGet && r.cfg.LeaseReads {
+				r.h.Inc(cRedirect) // frontier moved under the lease check
+			}
+			if len(r.batch) < r.cfg.MaxBatch {
+				r.batch = append(r.batch, req)
+			}
+		}
+	}
+	if !r.inflight && len(r.batch) > 0 {
+		r.batchSeq++
+		b := Batch{Proposer: r.me, Seq: r.batchSeq, Reqs: append([]Request(nil), r.batch...)}
+		r.slot = r.next
+		r.flight = b.Reqs
+		r.log.Proposer(r.slot).SetProposal(b)
+		r.inflight = true
+		r.h.Inc(cProposal)
+		progress = true
+	}
+	return progress
+}
+
+// inBatch reports whether (c, seq) is in the in-flight batch. The batch is
+// at most NC requests, so the scan is bounded.
+func (r *replica) inBatch(c, seq int) bool {
+	for _, req := range r.flight {
+		if req.Client == c && req.Seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// settle resolves a decided in-flight slot: ours committed, or a
+// competitor's batch took the slot (ours re-forms from the request
+// registers at the new frontier on the next iteration — requests are never
+// lost, they stay pending until applied).
+func (r *replica) settle(v paxos.Value) {
+	if b, ok := v.(Batch); ok && b.Proposer == r.me && b.Seq == r.batchSeq {
+		r.h.Inc(cBatchCommit)
+		r.h.Add(cBatchReqs, int64(len(r.flight)))
+	} else {
+		r.h.Inc(cBatchPreempt)
+	}
+	r.inflight = false
+	r.flight = nil
+}

@@ -1,0 +1,84 @@
+package kv
+
+import (
+	"fmt"
+
+	"wfadvice/internal/vec"
+)
+
+// searchMax bounds the trustless DFS linearization search: histories at or
+// below this many total ops get the full search on top of the version
+// replay; larger histories rely on the replay + real-time check alone.
+const searchMax = 20
+
+// Task is the kv service as a decision task: clerk i's input is its script
+// seed, its output is its *Session, and ∆ accepts exactly the output
+// vectors whose sessions are linearizable against the replicated-map
+// semantics. ∆ is prefix-closed — a subset of sessions from a linearizable
+// run is itself accepted (the checker drops the unsound global replay when
+// sessions are missing).
+type Task struct {
+	nc int
+}
+
+// NewTask returns the kv task over nc clerks.
+func NewTask(nc int) *Task { return &Task{nc: nc} }
+
+// Name implements task.Task.
+func (t *Task) Name() string { return "kv" }
+
+// N implements task.Task.
+func (t *Task) N() int { return t.nc }
+
+// InDomain implements task.Task: inputs are int script seeds (nil = does
+// not participate).
+func (t *Task) InDomain(in vec.Vector) error {
+	if len(in) != t.nc {
+		return fmt.Errorf("kv: input vector has length %d, want %d", len(in), t.nc)
+	}
+	for i, v := range in {
+		if v == nil {
+			continue
+		}
+		if _, ok := v.(int); !ok {
+			return fmt.Errorf("kv: input[%d] is %T, want int seed", i, v)
+		}
+	}
+	return nil
+}
+
+// Validate implements task.Task: decided outputs must be the deciders' own
+// sessions and jointly linearizable.
+func (t *Task) Validate(in, out vec.Vector) error {
+	if len(in) != t.nc || len(out) != t.nc {
+		return fmt.Errorf("kv: vector lengths %d/%d, want %d", len(in), len(out), t.nc)
+	}
+	var sessions []*Session
+	complete := true
+	for i, v := range out {
+		if v == nil {
+			if in[i] != nil {
+				complete = false
+			}
+			continue
+		}
+		if in[i] == nil {
+			return fmt.Errorf("kv: clerk %d decided without participating", i)
+		}
+		s, ok := v.(*Session)
+		if !ok {
+			return fmt.Errorf("kv: clerk %d decided %T, want *Session", i, v)
+		}
+		if s.Client != i {
+			return fmt.Errorf("kv: clerk %d decided session of clerk %d", i, s.Client)
+		}
+		sessions = append(sessions, s)
+	}
+	if err := CheckSessions(sessions, complete); err != nil {
+		return err
+	}
+	if complete {
+		return CheckLinearizable(sessions, searchMax)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/kv"
+	"wfadvice/internal/obs"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/vec"
+)
+
+// This file is the stress harness behind cmd/efd-kv. Unlike Stress — which
+// runs back-to-back short instances of a one-shot decision task — a KV run
+// is ONE long-lived replicated system: NS replicas chain multi-Paxos slots
+// under live Ω advice while NC clerks issue an open-loop Get/Put workload
+// against it. Throughput is client operations per second, latency is
+// completion minus the operation's due time on the global open-loop
+// schedule (queueing counts against the service, in the style of "Are
+// Lock-Free Concurrent Algorithms Practically Wait-Free?"), and the checker
+// verdict is linearizability of every clerk session, established post hoc
+// by the kv task from the decided *Session values.
+
+// KVStressOptions configures one open-loop KV stress run.
+type KVStressOptions struct {
+	// N is the number of replicas (S-processes).
+	N int
+	// Clients is the number of clerk sessions (C-processes); 0 = N.
+	Clients int
+	// Shards is the state-machine shard count (0 = kv default).
+	Shards int
+	// Rate is the total offered load in client ops/sec across all clerks;
+	// each clerk's k-th operation is due at k·(Clients/Rate) on its own
+	// schedule. 0 runs closed-loop (issue on completion).
+	Rate float64
+	// Duration is the issue window: clerks stop starting operations once it
+	// elapses, then the run drains in-flight replies.
+	Duration time.Duration
+	// RunBudget caps the whole run including the drain (0 = Duration + 10s).
+	// A run cut off with undecided clerks counts in Undecided.
+	RunBudget time.Duration
+	// CrashLeader injects that many leader crashes: replicas 0..CrashLeader-1
+	// (the advised leaders, lowest index first — LiveOmega advises the
+	// lowest live replica) crash at CrashAt·(i+1) ticks.
+	CrashLeader int
+	// CrashAt is the first crash time in ticks (0 = Stabilize + 100, so the
+	// victim has actually been leading when it dies).
+	CrashAt fdet.Time
+	// Stabilize is the advice stabilization time in ticks (0 = 100).
+	Stabilize fdet.Time
+	// Tick is the wall-clock length of one advice tick (0 = DefaultTick).
+	Tick time.Duration
+	// Advice is the native advice publication mode (tick or event).
+	Advice AdviceMode
+	// Seed seeds the advice history noise and the clerk scripts.
+	Seed int64
+	// Keys is the clerk keyspace size (0 = kv default).
+	Keys int
+	// PutFrac is the clerk Put fraction (0 = kv default 0.5).
+	PutFrac float64
+	// Pin locks every process goroutine to its own OS thread.
+	Pin bool
+	// Tracer, if non-nil, records the run's decision lifecycle.
+	Tracer *obs.Tracer
+	// Latency, if non-nil, receives per-op open-loop latencies; the harness
+	// allocates its own when nil. Passing one in lets the efd-kv debug
+	// endpoint serve live percentiles mid-run.
+	Latency *obs.Histogram
+}
+
+func (o KVStressOptions) clients() int {
+	if o.Clients > 0 {
+		return o.Clients
+	}
+	return o.N
+}
+
+func (o KVStressOptions) stabilize() fdet.Time {
+	if o.Stabilize > 0 {
+		return o.Stabilize
+	}
+	return 100
+}
+
+func (o KVStressOptions) crashAt() fdet.Time {
+	if o.CrashAt > 0 {
+		return o.CrashAt
+	}
+	return o.stabilize() + 100
+}
+
+func (o KVStressOptions) runBudget() time.Duration {
+	if o.RunBudget > 0 {
+		return o.RunBudget
+	}
+	return o.Duration + 10*time.Second
+}
+
+// KVScenarioName renders the stable scenario key the run reports under —
+// the efd-trend history is keyed by it, so the shape (and nothing
+// machine-specific) goes in.
+func (o KVStressOptions) KVScenarioName() string {
+	name := fmt.Sprintf("kv/n=%d/clients=%d", o.N, o.clients())
+	if o.CrashLeader > 0 {
+		name += fmt.Sprintf("/crash-leader=%d", o.CrashLeader)
+	}
+	if o.Advice == AdviceEvent {
+		name += "/advice=event"
+	}
+	return name
+}
+
+// kvPause is the clerk/replica poll-park policy: epoch parks under
+// event-driven advice (the runtime wakes parked pollers on publications and
+// register writes in that mode), a scheduler yield otherwise — the same
+// pairing core.Scenario uses.
+func kvPause(advice AdviceMode) kv.Pause {
+	if advice == AdviceEvent {
+		return func(e sim.Ops, seen uint64) { e.AwaitEpoch(seen) }
+	}
+	return func(e sim.Ops, seen uint64) { runtime.Gosched() }
+}
+
+// KVStress runs one open-loop replicated-KV system and reports it in the
+// same shape as Stress so efd-trend and the BENCH tooling consume either.
+// Runs is 1 (one long-lived system), Ops counts completed client
+// operations, and a checker failure is a linearizability violation across
+// the decided clerk sessions.
+func KVStress(opt KVStressOptions) (*StressReport, error) {
+	if opt.N < 1 {
+		return nil, fmt.Errorf("native: kv stress needs at least one replica, got %d", opt.N)
+	}
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("native: kv stress needs a positive duration, got %v", opt.Duration)
+	}
+	nc, ns := opt.clients(), opt.N
+	hist := opt.Latency
+	if hist == nil {
+		hist = obs.NewHistogram()
+	}
+	startCounters := MetricsSnapshot()
+	startKV := kv.MetricsSnapshot()
+
+	// Crash schedule: kill the acting leaders lowest-first, after
+	// stabilization, so every injected crash hits the replica the advice
+	// currently names — the failover path, not a bystander.
+	crashAt := map[int]fdet.Time{}
+	for c := 0; c < opt.CrashLeader && c < ns-1; c++ {
+		crashAt[c] = opt.crashAt() * fdet.Time(c+1)
+	}
+	pat := fdet.NewPattern(ns, crashAt)
+
+	// The open-loop schedule: clerk op k is due at k·interval from the run
+	// base, regardless of completions. base is captured by the Clock closure
+	// and re-anchored just before Run so config construction time does not
+	// count against the first op's latency.
+	var base time.Time
+	clock := func() int64 { return time.Since(base).Nanoseconds() }
+	sleep := func(ns int64) { time.Sleep(time.Duration(ns)) }
+	var interval int64
+	if opt.Rate > 0 {
+		interval = int64(float64(nc) * float64(time.Second) / opt.Rate)
+	}
+
+	pause := kvPause(opt.Advice)
+	rc := kv.ReplicaConfig{NC: nc, NS: ns, Shards: opt.Shards, LeaseReads: true, Pause: pause}
+	cc := kv.ClerkConfig{
+		NC: nc, NS: ns,
+		Keys: opt.Keys, PutFrac: opt.PutFrac,
+		Seed: opt.Seed, Pause: pause,
+		Clock: clock, Sleep: sleep,
+		Deadline: opt.Duration.Nanoseconds(), Interval: interval,
+		OnOp: func(rec kv.OpRecord, due int64) { hist.Observe(rec.End - due) },
+	}
+	inputs := vec.New(nc)
+	for i := range inputs {
+		inputs[i] = 100 + i
+	}
+	// Register pre-sizing: the log grows one slot per committed batch, so
+	// the offered load bounds it; cap the estimate — overflow only costs map
+	// growth.
+	slots := 1024
+	if opt.Rate > 0 {
+		if est := int(opt.Rate*opt.Duration.Seconds()) + 64; est > slots {
+			slots = est
+		}
+	}
+	if slots > 1<<16 {
+		slots = 1 << 16
+	}
+	cfg := Config{
+		NC: nc, NS: ns, Inputs: inputs,
+		CBody:     cc.Body,
+		SBody:     rc.Body,
+		Pattern:   pat,
+		History:   fdet.LiveOmega{}.History(pat, opt.stabilize(), opt.Seed),
+		Tick:      opt.Tick,
+		Advice:    opt.Advice,
+		Registers: kv.Registers(nc, ns, slots),
+		Tracer:    opt.Tracer,
+		Pin:       opt.Pin,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base = time.Now()
+	res := rt.Run(opt.runBudget())
+
+	rep := &StressReport{
+		Scenario:  opt.KVScenarioName(),
+		Workers:   1,
+		Runs:      1,
+		Decisions: len(res.Decisions),
+		Elapsed:   res.Elapsed,
+		Crashes:   len(res.Crashed),
+	}
+	// Ops counts completed client operations (the decided sessions plus
+	// whatever an undecided run still recorded); res.Ops would count raw
+	// register operations, which is the wrong currency for a KV benchmark.
+	hs := hist.Snapshot()
+	rep.Ops = hs.Count
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / s
+	}
+	rep.Latency = summarize(hs)
+	if hs.Count > 0 {
+		rep.Histogram = hs
+	}
+	// ∆ first, wait-freedom second, mirroring Stress: the kv task validates
+	// whatever sessions did decide even when some clerk was cut off, so a
+	// safety violation is never masked by a liveness miss.
+	if verr := CheckDelta(kv.NewTask(nc), res); verr != nil {
+		rep.Violations++
+		rep.Errors = append(rep.Errors, verr.Error())
+	} else if derr := CheckDecided(res); derr != nil {
+		rep.Undecided++
+		rep.Errors = append(rep.Errors, derr.Error())
+	}
+	rep.Counters = MetricsSnapshot().Delta(startCounters).Map()
+	for name, v := range kv.MetricsSnapshot().Delta(startKV).Map() {
+		rep.Counters[name] = v
+	}
+	return rep, nil
+}

@@ -1,0 +1,61 @@
+package native
+
+import (
+	"testing"
+	"time"
+)
+
+func runKVStress(t *testing.T, opt KVStressOptions) *StressReport {
+	t.Helper()
+	rep, err := KVStress(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("kv stress failed: %+v errors=%v", rep.Latency, rep.Errors)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("kv stress completed zero client ops")
+	}
+	if rep.Decisions != opt.clients() {
+		t.Fatalf("decided %d sessions, want %d", rep.Decisions, opt.clients())
+	}
+	return rep
+}
+
+func TestKVStressOpenLoop(t *testing.T) {
+	rep := runKVStress(t, KVStressOptions{
+		N: 3, Rate: 2000, Duration: 300 * time.Millisecond, Seed: 1,
+	})
+	if rep.Latency.Samples == 0 || rep.Latency.P50 <= 0 {
+		t.Fatalf("no open-loop latencies recorded: %+v", rep.Latency)
+	}
+	if rep.Counters["kv_batch_commit"] == 0 {
+		t.Fatalf("no batches committed: counters=%v", rep.Counters)
+	}
+}
+
+func TestKVStressLeaderCrash(t *testing.T) {
+	// Short ticks put the crash (stabilize+100 ticks) well inside the issue
+	// window, so the run must survive a mid-workload leader failover.
+	rep := runKVStress(t, KVStressOptions{
+		N: 3, Rate: 1000, Duration: 400 * time.Millisecond, Seed: 2,
+		CrashLeader: 1, Tick: 20 * time.Microsecond,
+	})
+	if rep.Crashes != 1 {
+		t.Fatalf("injected crashes = %d, want 1", rep.Crashes)
+	}
+	if rep.Scenario != "kv/n=3/clients=3/crash-leader=1" {
+		t.Fatalf("scenario key = %q", rep.Scenario)
+	}
+}
+
+func TestKVStressClosedLoopEventAdvice(t *testing.T) {
+	rep := runKVStress(t, KVStressOptions{
+		N: 3, Clients: 2, Duration: 200 * time.Millisecond, Seed: 3,
+		Advice: AdviceEvent,
+	})
+	if rep.Scenario != "kv/n=3/clients=2/advice=event" {
+		t.Fatalf("scenario key = %q", rep.Scenario)
+	}
+}

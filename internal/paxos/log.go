@@ -1,0 +1,118 @@
+package paxos
+
+import (
+	"fmt"
+
+	"wfadvice/internal/sim"
+)
+
+// This file chains single-decree instances into a replicated log: slot i of
+// the log named prefix is the consensus instance keyed SlotKey(prefix, i).
+// A Log is one process's local view of that chain — it lazily mints a
+// Proposer per slot it drives and keeps a sliding window of decision
+// registers bound for batched sweeps, so the apply loop of a replicated
+// state machine pays one bound collect per poll rather than a keyed read
+// (and a key format) per slot.
+
+// SlotKey returns the consensus-instance key of slot i of the log prefix.
+func SlotKey(prefix string, slot int) string {
+	return fmt.Sprintf("%s/%d", prefix, slot)
+}
+
+// logWindow is the number of decision registers a Log keeps bound at once.
+// The window starts at the sweep frontier and is re-bound only when the
+// frontier walks past its end, so binding cost amortizes to one key table
+// per logWindow decided slots.
+const logWindow = 64
+
+// Log is one process's handle on a replicated log of consensus instances.
+// It is purely local mechanism: slot proposers and a bound decision-read
+// window. Policy — who proposes, what a decided value means — belongs to
+// the caller (internal/kv's replica).
+type Log struct {
+	e      sim.Ops
+	prefix string
+	me     int
+	nProps int
+
+	props map[int]*Proposer
+
+	win     sim.Regs    // DecKey(SlotKey(prefix, winBase+i)) at slot i
+	winBase int         // first slot covered by win; -1 before first bind
+	buf     []sim.Value // scratch for win.ReadMany
+}
+
+// NewLog returns a log view for proposer me (unique in 0..nProposers-1)
+// bound to backend handle e.
+func NewLog(e sim.Ops, prefix string, me, nProposers int) *Log {
+	return &Log{
+		e:       e,
+		prefix:  prefix,
+		me:      me,
+		nProps:  nProposers,
+		props:   make(map[int]*Proposer),
+		winBase: -1,
+		buf:     make([]sim.Value, logWindow),
+	}
+}
+
+// Proposer returns the slot's proposer, minting (and binding its instance
+// keys) on first use. The proposal starts nil; supply it via SetProposal.
+func (l *Log) Proposer(slot int) *Proposer {
+	if p, ok := l.props[slot]; ok {
+		return p
+	}
+	p := NewProposer(l.e, SlotKey(l.prefix, slot), l.me, l.nProps, nil)
+	l.props[slot] = p
+	return p
+}
+
+// Release drops the slot's proposer so a long-lived log does not accumulate
+// one bound instance per decided slot. Callers release a slot once it has
+// been applied and will not be stepped again.
+func (l *Log) Release(slot int) { delete(l.props, slot) }
+
+// slide positions the bound window so that it covers slot.
+func (l *Log) slide(slot int) {
+	if l.winBase >= 0 && slot >= l.winBase && slot < l.winBase+logWindow {
+		return
+	}
+	keys := make([]string, logWindow)
+	for i := range keys {
+		keys[i] = DecKey(SlotKey(l.prefix, slot+i))
+	}
+	l.win = l.e.Bind(keys)
+	l.winBase = slot
+}
+
+// Decided reads slot's decision register once (through the bound window)
+// and decodes it.
+func (l *Log) Decided(slot int) (Value, bool) {
+	l.slide(slot)
+	return DecodeDecision(l.win.Read(slot - l.winBase))
+}
+
+// Sweep collects the window of decision registers covering slot from in one
+// batched ReadMany and invokes apply once for each consecutively decided
+// slot starting there, in order. apply must consume the slot; returning
+// false stops the sweep after it. If the sweep drains a fully decided
+// window it slides forward and keeps going, so a replica that fell behind
+// (crashed leader, late start) catches up in O(decided/logWindow) collects.
+// Sweep returns the new frontier: the first slot not passed to apply.
+func (l *Log) Sweep(from int, apply func(slot int, v Value) bool) int {
+	for {
+		l.slide(from)
+		l.win.ReadMany(l.buf)
+		end := l.winBase + logWindow
+		for from < end {
+			v, ok := DecodeDecision(l.buf[from-l.winBase])
+			if !ok {
+				return from
+			}
+			if !apply(from, v) {
+				return from + 1
+			}
+			from++
+		}
+	}
+}

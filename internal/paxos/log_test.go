@@ -1,0 +1,129 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+
+	"wfadvice/internal/fdet"
+	"wfadvice/internal/sim"
+	"wfadvice/internal/vec"
+)
+
+// logBody chains ops values into the log "log": process 0 is the sole
+// leader and proposes sequentially; everyone applies decided slots in order
+// via Sweep and decides its applied sequence once want entries are in.
+func logBody(n, ops, want int) func(i int) sim.Body {
+	return func(i int) sim.Body {
+		return func(e sim.Ops) {
+			l := NewLog(e, "log", i, n)
+			var applied []Value
+			next, cursor, k := 0, 0, 0
+			for len(applied) < want {
+				next = l.Sweep(next, func(s int, v Value) bool {
+					applied = append(applied, v)
+					l.Release(s)
+					return len(applied) < want
+				})
+				if i != 0 || k >= ops {
+					continue
+				}
+				if cursor < next {
+					cursor = next
+				}
+				p := l.Proposer(cursor)
+				p.SetProposal(fmt.Sprintf("v/%d", k))
+				if v, ok := p.StepOp(true); ok {
+					if v == fmt.Sprintf("v/%d", k) {
+						k++
+					}
+					l.Release(cursor)
+					cursor++
+				}
+			}
+			e.Decide(fmt.Sprint(applied))
+		}
+	}
+}
+
+func TestLogChainsDecisionsInOrder(t *testing.T) {
+	const n, ops = 3, 5
+	inputs := vec.New(n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	cfg := sim.Config{
+		NC:       n,
+		Inputs:   inputs,
+		CBody:    logBody(n, ops, ops),
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: 500_000,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(&sim.RoundRobin{})
+	want := fmt.Sprint([]Value{"v/0", "v/1", "v/2", "v/3", "v/4"})
+	for i, v := range res.Outputs {
+		if v != want {
+			t.Fatalf("p%d applied %v, want %v (reason %v)", i, v, want, res.Reason)
+		}
+	}
+}
+
+// TestLogSweepCrossesWindows pre-decides slots straddling several bind
+// windows and checks Sweep collects them all, in order, with the frontier
+// landing on the first undecided slot.
+func TestLogSweepCrossesWindows(t *testing.T) {
+	const slots = 150 // > 2*logWindow
+	cfg := sim.Config{
+		NC:     1,
+		Inputs: vec.Vector{0},
+		CBody: func(i int) sim.Body {
+			return func(e sim.Ops) {
+				for s := 0; s < slots; s++ {
+					e.Write(DecKey(SlotKey("log", s)), decRec{V: s})
+				}
+				l := NewLog(e, "log", 0, 1)
+				var got []Value
+				next := l.Sweep(0, func(s int, v Value) bool {
+					got = append(got, v)
+					return true
+				})
+				if next != slots {
+					e.Decide(fmt.Sprintf("frontier %d, want %d", next, slots))
+					return
+				}
+				for s, v := range got {
+					if v != s {
+						e.Decide(fmt.Sprintf("slot %d applied %v", s, v))
+						return
+					}
+				}
+				if _, ok := l.Decided(slots); ok {
+					e.Decide("slot past frontier reported decided")
+					return
+				}
+				// Early stop: apply exactly one more slot.
+				e.Write(DecKey(SlotKey("log", slots)), decRec{V: slots})
+				e.Write(DecKey(SlotKey("log", slots+1)), decRec{V: slots + 1})
+				stopped := l.Sweep(next, func(s int, v Value) bool { return false })
+				if stopped != slots+1 {
+					e.Decide(fmt.Sprintf("early-stop frontier %d, want %d", stopped, slots+1))
+					return
+				}
+				e.Decide("ok")
+			}
+		},
+		Pattern:  fdet.FailureFree(0),
+		MaxSteps: 50_000,
+	}
+	rt, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Run(&sim.RoundRobin{})
+	if res.Outputs[0] != "ok" {
+		t.Fatalf("log sweep: %v (reason %v)", res.Outputs[0], res.Reason)
+	}
+}

@@ -34,7 +34,9 @@ import (
 	"wfadvice/internal/explore"
 	"wfadvice/internal/fdet"
 	"wfadvice/internal/ids"
+	"wfadvice/internal/kv"
 	"wfadvice/internal/native"
+	"wfadvice/internal/paxos"
 	"wfadvice/internal/sim"
 	"wfadvice/internal/task"
 	"wfadvice/internal/vec"
@@ -297,6 +299,23 @@ type (
 	// aggregate outcome (throughput, latency percentiles, verdicts).
 	StressOptions = native.StressOptions
 	StressReport  = native.StressReport
+	// KVStressOptions configures an open-loop clerk workload against the
+	// replicated KV service (kv over a multi-Paxos log); its report is the
+	// shared StressReport shape, so the trend gate treats kv rows like any
+	// other scenario.
+	KVStressOptions = native.KVStressOptions
+	// KVReplicaConfig and KVClerkConfig are the service and session halves
+	// of the replicated KV protocol, written as backend-independent bodies.
+	KVReplicaConfig = kv.ReplicaConfig
+	KVClerkConfig   = kv.ClerkConfig
+	// KVState is the deterministic sharded state machine both the replicas
+	// and the linearizability checkers replay.
+	KVState = kv.State
+	// KVSession is one clerk's observed operation history.
+	KVSession = kv.Session
+	// PaxosLog chains single-decree consensus instances into a replicated
+	// log with a sliding bound decision-register window.
+	PaxosLog = paxos.Log
 	// AdviceMode selects how the native failure-detector service publishes
 	// advice: tick re-sampling or event-driven transition publishing.
 	AdviceMode = native.AdviceMode
@@ -319,6 +338,16 @@ var (
 	NativeCheckDecided = native.CheckDecided
 	// NativeStress hammers one scenario with back-to-back native instances.
 	NativeStress = native.Stress
+	// NativeKVStress runs the replicated KV under open-loop clerk load with
+	// optional leader crash injection.
+	NativeKVStress = native.KVStress
+	// NewPaxosLog builds one process's view of a replicated consensus log.
+	NewPaxosLog = paxos.NewLog
+	// KVCheckSessions replays the version order the service reported;
+	// KVCheckLinearizable is the trustless cross-check (Wing & Gong search
+	// over small histories).
+	KVCheckSessions     = kv.CheckSessions
+	KVCheckLinearizable = kv.CheckLinearizable
 	// NativeEnableMetrics gates the native backend's runtime counters for
 	// runtimes built after the call (handles resolve at construction);
 	// NativeMetricsSnapshot reads the process-wide totals. The stubbed mode
