@@ -1,5 +1,5 @@
 // Command efd-bench regenerates every experiment table in EXPERIMENTS.md
-// (E1–E16), each validating one proposition, theorem or algorithm figure of
+// (E1–E17), each validating one proposition, theorem or algorithm figure of
 // "Wait-Freedom with Advice".
 //
 // Trials run on a worker pool and are seeded per (experiment, cell, seed)

@@ -14,6 +14,15 @@
 //	efd-kv -n 3 -crash-leader 1 -duration 2s
 //	efd-kv -n 3 -advice event -duration 2s
 //	efd-kv -n 3 -duration 30s -http 127.0.0.1:9191
+//	efd-kv -n 5 -chaos flap:8 -crash-storm -clerk-timeout 500ms -duration 2s
+//
+// -chaos wraps the advice in a hostile pre-stabilization schedule (flap,
+// lie or diverge, with an optional :window in ticks); -crash-storm
+// compresses the leader kills back to back (implying -crash-leader n-1
+// when it is not set), and each kill targets whoever the advice names at
+// that instant. -clerk-timeout bounds every client operation: on expiry
+// the op is recorded as timed out and the session moves on, so a degraded
+// service produces visible timeouts, never a hung clerk.
 //
 // -http serves the live debug endpoint while the run is going: /metrics
 // (native and kv counters, per-op-kind latency histograms, the overall
@@ -46,11 +55,14 @@ func main() {
 		n           = flag.Int("n", 3, "number of replicas (S-processes)")
 		clients     = flag.Int("clients", 0, "number of clerk sessions (0 = n)")
 		shards      = flag.Int("shards", 0, "state-machine shards (0 = default 4)")
-		rate        = flag.Float64("rate", 10000, "total offered load in client ops/sec across all clerks (0 = closed loop)")
+		rate        = flag.Float64("rate", 10000, "total offered load in client ops/sec across all clerks (must be positive)")
 		duration    = flag.Duration("duration", 2*time.Second, "issue window; the run drains in-flight ops afterwards")
 		runBudget   = flag.Duration("run-budget", 0, "whole-run wall-clock cap including drain (0 = duration + 10s)")
-		crashLeader = flag.Int("crash-leader", 0, "crash that many acting leaders mid-workload (lowest replicas first)")
+		crashLeader = flag.Int("crash-leader", 0, "crash that many acting leaders mid-workload (whoever the advice names at each crash time)")
 		crashAt     = flag.Int("crash-at", 0, "first leader crash time in ticks (0 = stabilize + 100)")
+		crashStorm  = flag.Bool("crash-storm", false, "compress the leader kills back to back (implies -crash-leader n-1 when unset)")
+		chaos       = flag.String("chaos", "", "hostile pre-stabilization advice: "+strings.Join(fdet.ChaosModes(), " | ")+"[:window] (default none)")
+		clerkTO     = flag.Duration("clerk-timeout", time.Second, "per-operation clerk deadline; expired ops are recorded as timeouts (0 = wait forever)")
 		stabilize   = flag.Int("stabilize", 0, "advice stabilization time in ticks (0 = default 100)")
 		advice      = flag.String("advice", "", "advice publication mode: "+strings.Join(core.ScenarioAdviceModes(), " | ")+" (default tick)")
 		tick        = flag.Duration("tick", 0, "clock tick = one model time unit (0 = default 100µs)")
@@ -69,27 +81,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "efd-kv: "+format+"\n", args...)
 		os.Exit(2)
 	}
-	if *n < 1 {
-		fail("-n must be at least 1, got %d", *n)
+	// Flag errors print the usage too (the efd-trend precedent): a value
+	// outside its meaningful range silently disables or inverts what it
+	// tunes, so it is a flag error, not a configuration.
+	badFlag := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "efd-kv: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
 	}
-	if *clients < 0 {
-		fail("-clients must be non-negative, got %d", *clients)
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *n < 1 {
+		badFlag("-n must be at least 1, got %d", *n)
+	}
+	if set["clients"] && *clients < 1 {
+		badFlag("-clients must be at least 1, got %d (omit the flag for the default of n)", *clients)
 	}
 	if *duration <= 0 {
-		fail("-duration must be positive, got %v", *duration)
+		badFlag("-duration must be positive, got %v", *duration)
 	}
-	if *rate < 0 {
-		fail("-rate must be non-negative, got %v", *rate)
+	if *rate <= 0 {
+		badFlag("-rate must be positive, got %v", *rate)
 	}
 	if *putFrac < 0 || *putFrac > 1 {
-		fail("-put-frac must be in [0,1], got %v", *putFrac)
+		badFlag("-put-frac must be in [0,1], got %v", *putFrac)
+	}
+	if *crashStorm && !set["crash-leader"] {
+		*crashLeader = *n - 1
+	}
+	if *crashStorm && *crashLeader < 1 {
+		badFlag("-crash-storm needs -crash-leader > 0 (or at least 2 replicas), got %d", *crashLeader)
 	}
 	if *crashLeader < 0 || (*crashLeader > 0 && *crashLeader >= *n) {
-		fail("-crash-leader must leave a live replica: want 0..%d, got %d", *n-1, *crashLeader)
+		badFlag("-crash-leader must leave a live replica: want 0..%d, got %d", *n-1, *crashLeader)
+	}
+	if *clerkTO < 0 {
+		badFlag("-clerk-timeout must be non-negative, got %v", *clerkTO)
+	}
+	adviceChaos, err := fdet.ParseChaos(*chaos)
+	if err != nil {
+		badFlag("-chaos: %v", err)
 	}
 	adviceMode, err := native.ParseAdviceMode(*advice)
 	if err != nil {
-		fail("%v", err)
+		badFlag("%v", err)
 	}
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
@@ -121,7 +156,8 @@ func main() {
 	rep, err := native.KVStress(native.KVStressOptions{
 		N: *n, Clients: *clients, Shards: *shards,
 		Rate: *rate, Duration: *duration, RunBudget: *runBudget,
-		CrashLeader: *crashLeader, CrashAt: fdet.Time(*crashAt),
+		CrashLeader: *crashLeader, CrashAt: fdet.Time(*crashAt), CrashStorm: *crashStorm,
+		Chaos: adviceChaos, ClerkTimeout: *clerkTO,
 		Stabilize: fdet.Time(*stabilize), Tick: *tick, Advice: adviceMode,
 		Seed: *seed, Keys: *keys, PutFrac: *putFrac, Pin: *pin,
 		Tracer: tracer, Latency: latency,

@@ -9,6 +9,8 @@
 //
 //	efd-stress -task consensus -n 4 -duration 2s
 //	efd-stress -task kset -n 5 -k 2 -crash 2 -duration 5s -json
+//	efd-stress -task consensus -n 4 -chaos flap:8 -duration 2s
+//	efd-stress -task consensus -n 4 -crash 2 -crash-storm -chaos flap:8 -duration 2s
 //	efd-stress -task renaming -n 5 -j 4 -k 2 -procs 8 -rate 100
 //	efd-stress -task consensus -n 16 -park spin -duration 2s
 //	efd-stress -task consensus -n 4 -advice event -duration 2s
@@ -56,29 +58,31 @@ import (
 
 func main() {
 	var (
-		taskName  = flag.String("task", "consensus", "task/algorithm: "+strings.Join(core.ScenarioTasks(), " | "))
-		n         = flag.Int("n", 4, "number of C-processes (= S-processes)")
-		k         = flag.Int("k", 1, "agreement bound / concurrency level")
-		j         = flag.Int("j", 0, "renaming participants (0 = n-1)")
-		detector  = flag.String("detector", "", "advice detector override: "+strings.Join(core.ScenarioDetectors(), " | ")+" (default: the task's)")
-		crash     = flag.Int("crash", 0, "number of S-processes to crash mid-run")
-		crashAt   = flag.Int("crash-at", 0, "first crash time in ticks (0 = default 50)")
-		stabilize = flag.Int("stabilize", 0, "advice stabilization time in ticks (0 = default 100)")
-		park      = flag.String("park", "", "C-process poll-loop policy: yield (default) | spin | sleep duration (e.g. 50µs)")
-		advice    = flag.String("advice", "", "advice publication mode: "+strings.Join(core.ScenarioAdviceModes(), " | ")+" (default tick)")
-		procs     = flag.Int("procs", 0, "GOMAXPROCS for the whole process (0 = leave as is)")
-		workers   = flag.Int("workers", 0, "concurrent instances (0 = GOMAXPROCS / instance goroutines)")
-		duration  = flag.Duration("duration", 2*time.Second, "total stress wall-clock budget")
-		runBudget = flag.Duration("run-budget", 20*time.Second, "per-instance wall-clock budget")
-		rate      = flag.Float64("rate", 0, "throttle instance starts per second (0 = unthrottled)")
-		tick      = flag.Duration("tick", 0, "clock tick = one model time unit (0 = default 100µs)")
-		seed      = flag.Int64("seed", 1, "root seed for advice histories")
-		pin       = flag.Bool("pin", false, "lock every process goroutine to its own OS thread (kernel-scheduled instances)")
-		snapshot  = flag.Duration("snapshot", 0, "soak profile: emit a report snapshot every interval (0 = off); leak growth across snapshots fails the run")
-		jsonOut   = flag.Bool("json", false, "emit the report as JSON on stdout")
-		httpAddr  = flag.String("http", "", "serve the live debug endpoint (/metrics, /trace, /debug/pprof) on this address for the duration of the run")
-		traceOut  = flag.String("trace-out", "", "write the decision-lifecycle trace (Chrome trace format) to this file at exit")
-		traceCap  = flag.Int("trace-buf", 1<<16, "trace ring capacity in events (oldest events are dropped beyond it)")
+		taskName   = flag.String("task", "consensus", "task/algorithm: "+strings.Join(core.ScenarioTasks(), " | "))
+		n          = flag.Int("n", 4, "number of C-processes (= S-processes)")
+		k          = flag.Int("k", 1, "agreement bound / concurrency level")
+		j          = flag.Int("j", 0, "renaming participants (0 = n-1)")
+		detector   = flag.String("detector", "", "advice detector override: "+strings.Join(core.ScenarioDetectors(), " | ")+" (default: the task's)")
+		crash      = flag.Int("crash", 0, "number of S-processes to crash mid-run")
+		crashAt    = flag.Int("crash-at", 0, "first crash time in ticks (0 = default 50)")
+		crashStorm = flag.Bool("crash-storm", false, "compress the crashes back to back instead of spacing them (needs -crash > 0)")
+		chaos      = flag.String("chaos", "", "hostile pre-stabilization advice: "+strings.Join(fdet.ChaosModes(), " | ")+"[:window] (default none)")
+		stabilize  = flag.Int("stabilize", 0, "advice stabilization time in ticks (0 = default 100)")
+		park       = flag.String("park", "", "C-process poll-loop policy: yield (default) | spin | sleep duration (e.g. 50µs)")
+		advice     = flag.String("advice", "", "advice publication mode: "+strings.Join(core.ScenarioAdviceModes(), " | ")+" (default tick)")
+		procs      = flag.Int("procs", 0, "GOMAXPROCS for the whole process (0 = leave as is)")
+		workers    = flag.Int("workers", 0, "concurrent instances (0 = GOMAXPROCS / instance goroutines)")
+		duration   = flag.Duration("duration", 2*time.Second, "total stress wall-clock budget")
+		runBudget  = flag.Duration("run-budget", 20*time.Second, "per-instance wall-clock budget")
+		rate       = flag.Float64("rate", 0, "throttle instance starts per second (0 = unthrottled)")
+		tick       = flag.Duration("tick", 0, "clock tick = one model time unit (0 = default 100µs)")
+		seed       = flag.Int64("seed", 1, "root seed for advice histories")
+		pin        = flag.Bool("pin", false, "lock every process goroutine to its own OS thread (kernel-scheduled instances)")
+		snapshot   = flag.Duration("snapshot", 0, "soak profile: emit a report snapshot every interval (0 = off); leak growth across snapshots fails the run")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout")
+		httpAddr   = flag.String("http", "", "serve the live debug endpoint (/metrics, /trace, /debug/pprof) on this address for the duration of the run")
+		traceOut   = flag.String("trace-out", "", "write the decision-lifecycle trace (Chrome trace format) to this file at exit")
+		traceCap   = flag.Int("trace-buf", 1<<16, "trace ring capacity in events (oldest events are dropped beyond it)")
 	)
 	flag.Parse()
 	if *procs > 0 {
@@ -86,9 +90,9 @@ func main() {
 	}
 	sc, err := core.NewScenario(core.ScenarioParams{
 		Task: *taskName, N: *n, K: *k, J: *j,
-		Crash: *crash, CrashAt: fdet.Time(*crashAt),
+		Crash: *crash, CrashAt: fdet.Time(*crashAt), Storm: *crashStorm,
 		Detector: *detector, Stabilize: fdet.Time(*stabilize),
-		Park: *park, Advice: *advice,
+		Park: *park, Advice: *advice, Chaos: *chaos,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efd-stress: %v\n", err)

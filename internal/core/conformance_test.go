@@ -68,6 +68,15 @@ func conformanceGrid() []core.ScenarioParams {
 		{Task: "kv", N: 3, Stabilize: 20},
 		{Task: "kv", N: 3, Crash: 1, CrashAt: 30, Stabilize: 20},
 		{Task: "kv", N: 3, Stabilize: 20, Advice: "event"},
+		// Adversarial advice rows: a hostile pre-stabilization schedule may
+		// stall progress but must change no verdict on either backend. The
+		// storm row compresses the crash schedule so replicas die back to
+		// back while the advice is still flapping.
+		{Task: "consensus", N: 3, Stabilize: 24, Chaos: "flap:4"},
+		{Task: "consensus", N: 4, Crash: 2, CrashAt: 30, Stabilize: 24, Storm: true, Chaos: "flap:4"},
+		{Task: "kset", N: 4, K: 2, Stabilize: 24, Chaos: "diverge:4"},
+		{Task: "kv", N: 3, Stabilize: 24, Chaos: "flap:4"},
+		{Task: "kv", N: 3, Crash: 1, CrashAt: 30, Stabilize: 24, Chaos: "lie:4"},
 	}
 }
 
@@ -75,7 +84,7 @@ func TestBackendConformance(t *testing.T) {
 	grid := conformanceGrid()
 	seeds := 2
 	if testing.Short() {
-		grid = []core.ScenarioParams{grid[0], grid[2], grid[5], grid[7], grid[8], grid[10], grid[14]}
+		grid = []core.ScenarioParams{grid[0], grid[2], grid[5], grid[7], grid[8], grid[10], grid[14], grid[17], grid[20]}
 		seeds = 1
 	}
 	for _, p := range grid {

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"wfadvice/internal/explore"
+	"wfadvice/internal/sim"
+)
+
+// ExploreSpec adapts a scenario to the bounded model checker: every
+// schedule of the seeded lockstep system up to the horizon is swept and
+// each (possibly partial) run is judged against the task's ∆. Scenario
+// systems are time-sensitive — a detector history and possibly a crash
+// pattern key behaviour to absolute step numbers — so the explorer
+// disables sleep sets and state hashing and the sweep degrades to plain
+// bounded enumeration. That is exactly what makes small chaos windows the
+// interesting specs here: with Chaos "flap:2" and a short Stabilize, a
+// handful of leadership reversals fit inside an explorable horizon, so the
+// claim "hostile advice degrades liveness but never safety" gets a bounded
+// proof instead of a stress anecdote.
+func (s *Scenario) ExploreSpec(seed int64) explore.Spec {
+	return explore.Spec{
+		Name: s.Name,
+		Meta: map[string]string{"scenario": s.Name, "seed": fmt.Sprint(seed)},
+		New: func(maxSteps int) (*sim.Runtime, error) {
+			return sim.New(s.SimConfig(seed, maxSteps))
+		},
+		Check: func(res *sim.Result) error {
+			// A prefix in which no C-process has stepped yet has an empty
+			// participating-input vector (§2.2 nulls non-participants);
+			// there is nothing to judge until someone participates.
+			if res.Inputs.Count() == 0 {
+				return nil
+			}
+			return sim.CheckTask(s.Task, res)
+		},
+		TimeSensitive: true,
+	}
+}

@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"testing"
+
+	"wfadvice/internal/core"
+	"wfadvice/internal/explore"
+)
+
+// TestExploreChaosScenario is the bounded-proof form of the chaos legality
+// claim: every schedule of a consensus system under a flapping advice
+// prefix, up to the horizon, satisfies ∆ — hostile advice may stall
+// progress but can never make the algorithm decide wrongly. The window is
+// tiny (flap:2, stabilize 4) so multiple coherent-but-wrong leader worlds
+// fit inside the explorable depth.
+func TestExploreChaosScenario(t *testing.T) {
+	s, err := core.NewScenario(core.ScenarioParams{
+		Task: "consensus", N: 2, Stabilize: 4, Chaos: "flap:2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := s.ExploreSpec(7)
+	depth := 8
+	if testing.Short() {
+		depth = 6
+	}
+	rep, err := explore.Explore(spec, explore.Options{MaxDepth: depth, Mode: explore.ModeExhaust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("chaos advice produced %d ∆ violations in %d runs; first: %+v",
+			rep.Violations, rep.TotalRuns, rep.Witness)
+	}
+	if rep.TotalRuns == 0 {
+		t.Fatal("explorer executed no runs")
+	}
+	if !rep.Exhausted {
+		t.Fatalf("sweep did not exhaust the depth-%d tree", depth)
+	}
+}

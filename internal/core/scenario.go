@@ -113,6 +113,17 @@ type ScenarioParams struct {
 	// pollers; the direct solver's default yield park upgrades to the
 	// epoch notify). The sim backend is unaffected either way.
 	Advice string
+	// Chaos replaces the detector's pre-stabilization output with a hostile
+	// schedule: "flap[:W]" (coherent rotation every W ticks), "lie[:W]"
+	// (agreed-but-wrong, faulty-biased), "diverge[:W]" (per-module
+	// disagreement). The wrapped detector still satisfies its family's
+	// contract — the audits constrain only the post-stabilization suffix —
+	// so verdicts must not change; see fdet.WithChaos.
+	Chaos string
+	// Storm compresses the Crash schedule into a burst: the victims die on
+	// consecutive ticks starting at CrashAt instead of CrashAt apart, so
+	// failover paths absorb churn faster than advice republishes.
+	Storm bool
 }
 
 // ScenarioTasks lists the valid ScenarioParams.Task values.
@@ -146,16 +157,27 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 	if p.Crash >= p.N {
 		return nil, fmt.Errorf("scenario: %d crashes leave no correct S-process (n=%d)", p.Crash, p.N)
 	}
+	chaos, err := fdet.ParseChaos(p.Chaos)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	if p.Storm && p.Crash == 0 {
+		return nil, fmt.Errorf("scenario: crash-storm needs crash > 0")
+	}
 	crashAt := map[int]fdet.Time{}
 	for c := 0; c < p.Crash; c++ {
+		at := p.CrashAt * fdet.Time(c+1)
+		if p.Storm {
+			at = p.CrashAt + fdet.Time(c)
+		}
 		// kv crashes LOWEST indices first: its LiveOmega advice elects the
 		// lowest live replica, so each crash kills the acting leader and
 		// leadership migrates. Every other task crashes highest-first,
 		// leaving the advised MinCorrect leader standing.
 		if p.Task == "kv" {
-			crashAt[c] = p.CrashAt * fdet.Time(c+1)
+			crashAt[c] = at
 		} else {
-			crashAt[p.N-1-c] = p.CrashAt * fdet.Time(c+1)
+			crashAt[p.N-1-c] = at
 		}
 	}
 	pat := fdet.NewPattern(p.N, crashAt)
@@ -318,16 +340,28 @@ func NewScenario(p ScenarioParams) (*Scenario, error) {
 		return nil, fmt.Errorf("scenario: unknown task %q (valid: %v)", p.Task, ScenarioTasks())
 	}
 	s.Advice = advice
+	if chaos.Enabled() {
+		// The wrapper composes over whatever detector the task picked: the
+		// same scenario machinery serves both backends a hostile history.
+		s.Detector = fdet.WithChaos(s.Detector, chaos)
+	}
 	if p.Crash > 0 {
 		s.Name += fmt.Sprintf("/crash=%d", p.Crash)
+		if p.Storm {
+			s.Name += "/storm"
+		}
 	}
 	if parkUsed && parkLabel != "yield" {
 		s.Name += "/park=" + parkLabel
 	}
 	// The advice mode keys trend baselines like crash and park do: the two
-	// modes have very different latency profiles.
+	// modes have very different latency profiles. Chaos keys them too — a
+	// flapping prefix is a different latency world.
 	if advice != native.AdviceTick {
 		s.Name += "/advice=" + advice.String()
+	}
+	if chaos.Enabled() {
+		s.Name += "/chaos=" + chaos.Suffix()
 	}
 	return s, nil
 }

@@ -1,5 +1,5 @@
 // Package exp is the experiment harness: one Experiment per entry in
-// EXPERIMENTS.md (E1–E16), each regenerating the table that validates one of
+// EXPERIMENTS.md (E1–E17), each regenerating the table that validates one of
 // the paper's propositions, theorems or algorithm figures.
 //
 // Each experiment is decomposed into independent trial cells (one per grid

@@ -30,8 +30,8 @@ func TestAllExperimentsReproduce(t *testing.T) {
 // runners wrap the engine and produce non-empty tables.
 func TestRunnersFacade(t *testing.T) {
 	runners := All()
-	if len(runners) != 16 {
-		t.Fatalf("got %d runners, want 16", len(runners))
+	if len(runners) != 17 {
+		t.Fatalf("got %d runners, want 17", len(runners))
 	}
 	for i, x := range Experiments() {
 		if runners[i].ID != x.ID || runners[i].Name != x.Name {

@@ -19,13 +19,13 @@ import (
 	"wfadvice/internal/wfree"
 )
 
-// Experiments returns every experiment (E1–E16) in canonical order, each
+// Experiments returns every experiment (E1–E17) in canonical order, each
 // decomposed into independent trial cells for the Engine.
 func Experiments() []Experiment {
 	return []Experiment{
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
-		expE13(), expE14(), expE15(), expE16(),
+		expE13(), expE14(), expE15(), expE16(), expE17(),
 	}
 }
 
@@ -1181,6 +1181,106 @@ func expE16() Experiment {
 			return cells
 		},
 	}
+}
+
+// expE17 quantifies graceful degradation under adversarial advice: the
+// native consensus system re-run under every hostile pre-stabilization
+// schedule (flap/lie/diverge), and the KV service under flapping advice
+// plus an advice-chasing crash storm with a per-op clerk deadline. The
+// pass criterion is the chaos layer's core claim — hostile advice may cost
+// throughput and tail latency but never safety, and a starved client
+// operation surfaces as a counted timeout, never a hang.
+func expE17() Experiment {
+	consensus := []core.ScenarioParams{
+		{Task: "consensus", N: 4},
+		{Task: "consensus", N: 4, Chaos: "flap:8"},
+		{Task: "consensus", N: 4, Chaos: "lie:8"},
+		{Task: "consensus", N: 4, Chaos: "diverge:8"},
+	}
+	kvRows := []native.KVStressOptions{
+		{N: 4, Rate: 4000},
+		{N: 4, Rate: 4000, Chaos: fdet.AdviceChaos{Mode: fdet.ChaosFlap, Window: 8},
+			CrashLeader: 2, CrashStorm: true, ClerkTimeout: time.Second},
+	}
+	return Experiment{
+		ID:       "E17",
+		Name:     "adversarial-advice",
+		Title:    "adversarial advice: measured degradation under hostile pre-stabilization schedules",
+		Claim:    "chaos costs throughput and tail latency, never verdicts; clerk deadlines turn starvation into counted timeouts",
+		Header:   []string{"scenario", "runs", "ops/sec", "p50", "p99", "timeouts", "checker"},
+		Measured: true,
+		Notes: []string{
+			"~-prefixed cells are wall-clock measurements (machine-dependent; skipped by -skip-measured determinism checks)",
+			"baseline rows (no /chaos= suffix) are the degradation reference for their chaos twins",
+			"the kv storm row kills whoever the flapping advice names, back to back, under a 1s per-op clerk deadline",
+		},
+		Cells: func(opt Options) []Cell {
+			cg, kg := consensus, kvRows
+			dur := 250 * time.Millisecond
+			if opt.Short {
+				cg = []core.ScenarioParams{consensus[0], consensus[1]}
+				dur = 100 * time.Millisecond
+			}
+			var cells []Cell
+			for _, p := range cg {
+				p := p
+				cells = append(cells, Cell{
+					Name: p.Task + "/" + p.Chaos,
+					Run: func(t *Trial) Outcome {
+						s, err := core.NewScenario(p)
+						if err != nil {
+							return Row(true, p.Task, "-", "-", "-", "-", "-", "FAIL: "+err.Error())
+						}
+						rep, err := native.Stress(s.Name, s.Task, func(seed int64) (native.Config, error) {
+							return s.NativeConfig(seed, 0), nil
+						}, native.StressOptions{
+							Duration:    time.Duration(opt.mult()) * dur,
+							RunBudget:   20 * time.Second,
+							ProcsPerRun: s.NC + s.NS,
+							Seed:        t.Seed,
+						})
+						if err != nil {
+							return Row(true, s.Name, "-", "-", "-", "-", "-", "FAIL: "+err.Error())
+						}
+						return e17Row(s.Name, rep)
+					},
+				})
+			}
+			for _, o := range kg {
+				o := o
+				o.Duration = time.Duration(opt.mult()) * dur
+				cells = append(cells, Cell{
+					Name: "kv/" + o.Chaos.Suffix(),
+					Run: func(t *Trial) Outcome {
+						o.Seed = t.Seed
+						rep, err := native.KVStress(o)
+						if err != nil {
+							return Row(true, o.KVScenarioName(), "-", "-", "-", "-", "-", "FAIL: "+err.Error())
+						}
+						return e17Row(rep.Scenario, rep)
+					},
+				})
+			}
+			return cells
+		},
+	}
+}
+
+// e17Row renders one E17 measurement row from a stress report.
+func e17Row(name string, rep *native.StressReport) Outcome {
+	verdict := "ok"
+	fail := rep.Failed() || rep.Runs == 0
+	if fail {
+		verdict = fmt.Sprintf("FAIL (%d violations, %d undecided, %d runs)",
+			rep.Violations, rep.Undecided, rep.Runs)
+	}
+	return Row(fail, name,
+		meas(fmt.Sprint(rep.Runs)),
+		meas(fmt.Sprintf("%.0f", rep.OpsPerSec)),
+		meas(rep.Latency.P50.Round(10*time.Microsecond).String()),
+		meas(rep.Latency.P99.Round(10*time.Microsecond).String()),
+		meas(fmt.Sprint(rep.Timeouts)),
+		verdict)
 }
 
 // expE12 validates the BG substrate: with k of k+1 simulators stalled

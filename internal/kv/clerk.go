@@ -37,11 +37,29 @@ type ClerkConfig struct {
 	Sleep    func(ns int64)
 	Deadline int64 // stop issuing once Clock() or the next due time passes this
 	Interval int64 // ns between due times; 0 = closed loop (issue on completion)
+	// OpTimeout bounds the reply wait of a single operation, in ns; 0 waits
+	// forever. On expiry the clerk records the op as TimedOut and moves on —
+	// a crashed or advice-starved service degrades to visible timeouts
+	// instead of a hung session. Needs Clock; ignored on sim, where there is
+	// no wall time to run out.
+	OpTimeout int64
 
 	// OnOp reports each completed operation and its due time (due==start
 	// outside open-loop mode) to the driver for per-run histograms.
 	OnOp func(rec OpRecord, due int64)
 }
+
+const (
+	// clerkFreePolls is how many no-progress reply polls a clerk burns
+	// (parking via Pause between them) before counting a retry and backing
+	// off: enough for the common leader turnaround, few enough that a
+	// starved clerk stops spinning quickly.
+	clerkFreePolls = 64
+	// clerkBackoffMin/Max bound the capped exponential retry backoff, in
+	// ns (~1µs to ~1ms). The cap keeps the deadline check responsive.
+	clerkBackoffMin = int64(1) << 10
+	clerkBackoffMax = int64(1) << 20
+)
 
 // Body returns clerk i's program.
 func (cfg ClerkConfig) Body(i int) sim.Body {
@@ -97,14 +115,49 @@ func (cfg ClerkConfig) Body(i int) sim.Body {
 				start = cfg.Clock()
 			}
 			req.Write(0, Request{Client: i, Seq: seq, Op: op, Key: key, Val: arg})
+			// The reply wait degrades in stages instead of spinning
+			// forever on a dead or advice-starved service: a bounded free
+			// budget of parked polls, then counted retries under capped
+			// exponential backoff, and — when OpTimeout is set — a hard
+			// per-op deadline after which the op is recorded TimedOut and
+			// the session moves on. A late reply for a timed-out seq is
+			// ignored (the seq check below) and the request itself may
+			// still apply; the checker owns that ambiguity.
 			var r Reply
+			timedOut := false
+			polls, backoff := 0, clerkBackoffMin
 			for {
 				seen := e.Epoch()
 				if v, ok := rep.Read(0).(Reply); ok && v.Seq == seq {
 					r = v
 					break
 				}
-				if cfg.Pause != nil {
+				if cfg.Clock != nil && cfg.OpTimeout > 0 && cfg.Clock()-start >= cfg.OpTimeout {
+					timedOut = true
+					break
+				}
+				if polls++; polls < clerkFreePolls {
+					if cfg.Pause != nil {
+						cfg.Pause(e, seen)
+					}
+					continue
+				}
+				polls = 0
+				h.Inc(cRetry)
+				if cfg.Sleep != nil {
+					wait := backoff
+					if cfg.Clock != nil && cfg.OpTimeout > 0 {
+						if left := cfg.OpTimeout - (cfg.Clock() - start); left < wait {
+							wait = left
+						}
+					}
+					if wait > 0 {
+						cfg.Sleep(wait)
+					}
+					if backoff < clerkBackoffMax {
+						backoff *= 2
+					}
+				} else if cfg.Pause != nil {
 					cfg.Pause(e, seen)
 				}
 			}
@@ -114,10 +167,16 @@ func (cfg ClerkConfig) Body(i int) sim.Body {
 			}
 			rec := OpRecord{
 				Op: op, Key: key, Arg: arg,
-				Out: r.Val, Ver: r.Ver, Lease: r.Lease,
-				Start: start, End: end,
+				Start: start, End: end, TimedOut: timedOut,
+			}
+			if !timedOut {
+				rec.Out, rec.Ver, rec.Lease = r.Val, r.Ver, r.Lease
 			}
 			sess.Ops = append(sess.Ops, rec)
+			if timedOut {
+				h.Inc(cDeadlineExpired)
+				continue
+			}
 			if op == OpPut {
 				h.Inc(cOpPut)
 			} else {

@@ -136,6 +136,68 @@ func TestCheckSessionsIncompleteSkipsReplay(t *testing.T) {
 	}
 }
 
+func TestCheckSessionsTimeouts(t *testing.T) {
+	// A timed-out Put whose apply went unseen: version 2 is absent from the
+	// completed records but one op timed out, so the audit accepts, and the
+	// unsound value replay is skipped.
+	s0 := sess(0,
+		OpRecord{Op: OpPut, Key: "a", Arg: 5, Out: 0, Ver: 1},
+		OpRecord{Op: OpPut, Key: "b", Arg: 7, TimedOut: true},
+	)
+	s1 := sess(1, OpRecord{Op: OpGet, Key: "a", Out: 5, Ver: 3})
+	if err := CheckSessions([]*Session{s0, s1}, true); err != nil {
+		t.Fatalf("timed-out history rejected: %v", err)
+	}
+	// The same version gap with no timeout to license it is an error: the
+	// service handed out a version nobody's session accounts for.
+	g0 := sess(0, OpRecord{Op: OpPut, Key: "a", Arg: 5, Out: 0, Ver: 1})
+	g1 := sess(1, OpRecord{Op: OpGet, Key: "a", Out: 5, Ver: 3})
+	err := CheckSessions([]*Session{g0, g1}, true)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("unlicensed version gap not caught: %v", err)
+	}
+	// One timeout licenses at most one gap.
+	w0 := sess(0,
+		OpRecord{Op: OpPut, Key: "a", Arg: 5, Out: 0, Ver: 1},
+		OpRecord{Op: OpPut, Key: "b", Arg: 7, TimedOut: true},
+	)
+	w1 := sess(1, OpRecord{Op: OpGet, Key: "a", Out: 5, Ver: 4})
+	err = CheckSessions([]*Session{w0, w1}, true)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("double version gap under one timeout not caught: %v", err)
+	}
+}
+
+func TestCheckLinearizableTimeouts(t *testing.T) {
+	// The timed-out Put may have applied (c1 reads 2)...
+	applied := []*Session{
+		sess(0, OpRecord{Op: OpPut, Key: "a", Arg: 1, Out: 0},
+			OpRecord{Op: OpPut, Key: "a", Arg: 2, TimedOut: true}),
+		sess(1, OpRecord{Op: OpGet, Key: "a", Out: 2}),
+	}
+	if err := CheckLinearizable(applied, 20); err != nil {
+		t.Fatalf("timed-out put (applied branch) rejected: %v", err)
+	}
+	// ...or never taken effect (c1 reads 1): both worlds are legal.
+	skipped := []*Session{
+		sess(0, OpRecord{Op: OpPut, Key: "a", Arg: 1, Out: 0},
+			OpRecord{Op: OpPut, Key: "a", Arg: 2, TimedOut: true}),
+		sess(1, OpRecord{Op: OpGet, Key: "a", Out: 1}),
+	}
+	if err := CheckLinearizable(skipped, 20); err != nil {
+		t.Fatalf("timed-out put (skipped branch) rejected: %v", err)
+	}
+	// But it cannot un-apply: once a read sees 2, a later read cannot see 1.
+	bad := []*Session{
+		sess(0, OpRecord{Op: OpPut, Key: "a", Arg: 1, Out: 0},
+			OpRecord{Op: OpPut, Key: "a", Arg: 2, TimedOut: true}),
+		sess(1, OpRecord{Op: OpGet, Key: "a", Out: 2}, OpRecord{Op: OpGet, Key: "a", Out: 1}),
+	}
+	if err := CheckLinearizable(bad, 20); err == nil {
+		t.Fatal("oscillation around a timed-out put accepted")
+	}
+}
+
 func TestCheckLinearizable(t *testing.T) {
 	ok := []*Session{
 		sess(0, OpRecord{Op: OpPut, Key: "a", Arg: 1, Out: 0}, OpRecord{Op: OpGet, Key: "a", Out: 2}),
@@ -205,6 +267,51 @@ func TestKVSimEndToEnd(t *testing.T) {
 				t.Fatalf("seed %d: clerk %d completed %d/%d ops", seed, i, len(s.Ops), ops)
 			}
 		}
+	}
+}
+
+func TestKVSimChaosFlap(t *testing.T) {
+	// Hostile flapping advice before stabilization: leadership rotates
+	// coherently every 32 steps for 400 steps, so replicas repeatedly win
+	// and lose the lead mid-proposal (the abandon path) before LiveOmega
+	// settles. Verdicts must not move: every clerk decides and the sessions
+	// stay linearizable.
+	const n, ops = 3, 3
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := kvSimConfig(n, ops, nil, 400, seed, 6_000_000)
+		pat := fdet.NewPattern(n, nil)
+		cfg.History = fdet.Flap(fdet.LiveOmega{}, 32).History(pat, 400, seed)
+		res := runKV(t, cfg, n, seed)
+		if err := sim.DecidedAll(res); err != nil {
+			t.Fatalf("seed %d: %v (reason %v)", seed, err, res.Reason)
+		}
+	}
+}
+
+func TestReplicaAbandonsInflightOnFlap(t *testing.T) {
+	// The leadership edge in isolation: a replica that loses the advice
+	// with a batch mid-flight abandons it (and counts the flap); gaining or
+	// keeping the lead, or losing it with nothing in flight, changes
+	// nothing.
+	r := &replica{h: newMetricsHandle(), wasLead: true, inflight: true,
+		flight: []Request{{Client: 0, Seq: 1}}, batchSeq: 3}
+	r.noteLead(false)
+	if r.inflight || r.flight != nil || r.wasLead {
+		t.Fatalf("lead loss did not abandon the in-flight batch: %+v", r)
+	}
+	r.inflight, r.flight = true, []Request{{Client: 1, Seq: 2}}
+	r.noteLead(true) // regaining the lead keeps the (new) proposal
+	r.noteLead(true)
+	if !r.inflight || !r.wasLead {
+		t.Fatalf("keeping the lead dropped the proposal: %+v", r)
+	}
+	r.noteLead(false)
+	if r.inflight {
+		t.Fatal("second lead loss kept the proposal in flight")
+	}
+	r.noteLead(false) // already a follower: nothing left to abandon
+	if r.wasLead {
+		t.Fatal("follower iterations did not track the edge")
 	}
 }
 

@@ -41,13 +41,27 @@ func (r record) String() string {
 // with sessions missing (an undecided clerk cut off by a run budget), the
 // global replay is skipped — absent writes would make it unsound — and
 // only the per-session and real-time checks run.
+//
+// TimedOut records are invoked-but-unresolved: the clerk gave up before a
+// reply, so they carry no stamps to audit and are excluded from the
+// claimed order. They are not free, though — each one licenses at most one
+// applied version to be absent from the completed sessions (the request
+// may have applied with its reply lost, never both more than once thanks
+// to (client,seq) dedup), which the complete-history version audit
+// enforces. With any timeout present the value replay is skipped: a
+// timed-out Put may have mutated the state invisibly.
 func CheckSessions(sessions []*Session, complete bool) error {
 	var all []record
+	timeouts := 0
 	for _, s := range sessions {
 		prevVer := int64(-1)
 		prevLease := false
 		for i, op := range s.Ops {
 			r := record{c: s.Client, idx: i, OpRecord: op}
+			if op.TimedOut {
+				timeouts++
+				continue
+			}
 			if op.Lease && op.Op != OpGet {
 				return fmt.Errorf("kv: lease-served write: %v", r)
 			}
@@ -85,20 +99,42 @@ func CheckSessions(sessions []*Session, complete bool) error {
 		return all[i].Start < all[j].Start
 	})
 	if complete {
-		state := make(map[string]int64)
-		var lastApplied int64
+		// Version audit: applied versions are globally unique, and any
+		// version the service handed out but no completed op carries must
+		// be accounted for by a timed-out op whose apply went unseen.
+		var lastApplied, maxVer int64
+		appliedSeen := 0
 		for _, r := range all {
-			if !r.Lease {
-				if r.Ver == lastApplied {
-					return fmt.Errorf("kv: duplicate applied version %d at %v", r.Ver, r)
+			if r.Lease {
+				continue
+			}
+			if r.Ver == lastApplied {
+				return fmt.Errorf("kv: duplicate applied version %d at %v", r.Ver, r)
+			}
+			lastApplied = r.Ver
+			appliedSeen++
+			if r.Ver > maxVer {
+				maxVer = r.Ver
+			}
+		}
+		for _, r := range all {
+			if r.Lease && r.Ver > maxVer {
+				maxVer = r.Ver // a lease read can observe an unseen apply
+			}
+		}
+		if missing := int(maxVer) - appliedSeen; missing > timeouts {
+			return fmt.Errorf("kv: %d applied versions missing from completed sessions, only %d ops timed out",
+				missing, timeouts)
+		}
+		if timeouts == 0 {
+			state := make(map[string]int64)
+			for _, r := range all {
+				if cur := state[r.Key]; r.Out != cur {
+					return fmt.Errorf("kv: replay mismatch at %v: state has %s=%d", r, r.Key, cur)
 				}
-				lastApplied = r.Ver
-			}
-			if cur := state[r.Key]; r.Out != cur {
-				return fmt.Errorf("kv: replay mismatch at %v: state has %s=%d", r, r.Key, cur)
-			}
-			if r.Op == OpPut {
-				state[r.Key] = r.Arg
+				if r.Op == OpPut {
+					state[r.Key] = r.Arg
+				}
 			}
 		}
 	}
@@ -161,6 +197,26 @@ func searchLin(sessions []*Session, idx []int, state map[string]int64, seen map[
 			continue
 		}
 		op := s.Ops[j]
+		if op.TimedOut {
+			// Unresolved op: per-client seq dedup means it took effect
+			// before the session's next completed op or never, which is
+			// exactly the two branches here — skip it entirely, or (for a
+			// Put) apply its mutation now with no result to verify.
+			idx[i]++
+			if searchLin(sessions, idx, state, seen, left-1) {
+				return true
+			}
+			if op.Op == OpPut {
+				prev := state[op.Key]
+				state[op.Key] = op.Arg
+				if searchLin(sessions, idx, state, seen, left-1) {
+					return true
+				}
+				state[op.Key] = prev
+			}
+			idx[i]--
+			continue
+		}
 		if op.Out != state[op.Key] {
 			continue // this op cannot linearize here
 		}

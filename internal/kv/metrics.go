@@ -37,6 +37,14 @@ const (
 	cRedirect
 	// Sessions completed (clerk decided its history).
 	cSession
+	// Degradation under adversarial advice: leadership lost mid-flight (the
+	// advised leader changed away from a replica with a proposal riding the
+	// log — it abandons the batch), clerk retry backoffs (reply still absent
+	// after the free-poll budget), and clerk per-op deadlines expired (the
+	// op is recorded TimedOut and the clerk moves on).
+	cAdviceFlap
+	cRetry
+	cDeadlineExpired
 
 	numCounters
 )
@@ -57,6 +65,9 @@ var counterNames = []string{
 	"kv_lease_read",
 	"kv_redirect",
 	"kv_session",
+	"kv_advice_flap",
+	"kv_retry",
+	"kv_deadline_expired",
 }
 
 // metrics is the process-wide kv counter set.

@@ -40,6 +40,7 @@ type replica struct {
 	slot     int       // its slot
 	flight   []Request // its requests (for pending-suppression)
 	batchSeq int64
+	wasLead  bool // advised leader on the previous iteration
 
 	// batch is per-iteration scratch, reused across iterations.
 	batch []Request
@@ -84,6 +85,7 @@ func (r *replica) run() {
 		seen := r.e.Epoch()
 		leader, _ := r.e.QueryFD().(int)
 		lead := leader == r.me
+		r.noteLead(lead)
 
 		progress := r.apply(lead)
 		if r.serve(lead) {
@@ -108,6 +110,24 @@ func (r *replica) run() {
 			r.cfg.Pause(r.e, seen)
 		}
 	}
+}
+
+// noteLead tracks the leadership edge. When the advice flaps away from a
+// replica with a proposal still riding the log, the batch is abandoned
+// rather than kept driving a slot the new leader is also proposing at. The
+// proposal already handed to the paxos instance may still decide — apply()
+// picks it up like any other entry and (client,seq) dedup makes a
+// re-proposal by the next leader harmless — and if this replica is
+// re-advised it re-forms the batch from the still-pending request
+// registers under a fresh batch seq, so settle() routes a late decision of
+// the old batch to the preempt path. No request is lost or doubled.
+func (r *replica) noteLead(lead bool) {
+	if r.wasLead && !lead && r.inflight {
+		r.h.Inc(cAdviceFlap)
+		r.inflight = false
+		r.flight = nil
+	}
+	r.wasLead = lead
 }
 
 // apply sweeps newly decided log entries into the state machine and, when

@@ -80,6 +80,12 @@ type OpRecord struct {
 	Lease bool  // reply was lease-served (reads only)
 	Start int64 // invocation timestamp, ns since the run base; 0 on sim
 	End   int64 // completion timestamp; 0 on sim
+	// TimedOut marks an operation whose reply never arrived before the
+	// clerk's per-op deadline. The clerk moves on; the request may still
+	// apply later (or never), so the linearizability check treats the op as
+	// invoked-but-unresolved: excluded from the claimed order, optionally
+	// applied in the search. Out/Ver/Lease are meaningless when set.
+	TimedOut bool
 }
 
 // Session is one clerk's complete history; it is the clerk's decision

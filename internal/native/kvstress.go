@@ -41,13 +41,24 @@ type KVStressOptions struct {
 	// RunBudget caps the whole run including the drain (0 = Duration + 10s).
 	// A run cut off with undecided clerks counts in Undecided.
 	RunBudget time.Duration
-	// CrashLeader injects that many leader crashes: replicas 0..CrashLeader-1
-	// (the advised leaders, lowest index first — LiveOmega advises the
-	// lowest live replica) crash at CrashAt·(i+1) ticks.
+	// CrashLeader injects that many leader crashes. Victim i is whichever
+	// replica the (possibly chaos-wrapped) advice names at the i-th crash
+	// time — the crash schedule chases the advice, so every kill hits the
+	// acting leader, not a bystander.
 	CrashLeader int
 	// CrashAt is the first crash time in ticks (0 = Stabilize + 100, so the
 	// victim has actually been leading when it dies).
 	CrashAt fdet.Time
+	// CrashStorm compresses the schedule into back-to-back kills (CrashAt,
+	// CrashAt+1, ...) instead of spacing them CrashAt apart, so failovers
+	// overlap. Needs CrashLeader > 0.
+	CrashStorm bool
+	// Chaos wraps the advice in a hostile pre-stabilization schedule
+	// (fdet.WithChaos); the zero value leaves LiveOmega untouched.
+	Chaos fdet.AdviceChaos
+	// ClerkTimeout bounds each client operation's reply wait; on expiry the
+	// clerk records the op TimedOut and moves on (0 = wait forever).
+	ClerkTimeout time.Duration
 	// Stabilize is the advice stabilization time in ticks (0 = 100).
 	Stabilize fdet.Time
 	// Tick is the wall-clock length of one advice tick (0 = DefaultTick).
@@ -105,11 +116,42 @@ func (o KVStressOptions) KVScenarioName() string {
 	name := fmt.Sprintf("kv/n=%d/clients=%d", o.N, o.clients())
 	if o.CrashLeader > 0 {
 		name += fmt.Sprintf("/crash-leader=%d", o.CrashLeader)
+		if o.CrashStorm {
+			name += "/storm"
+		}
 	}
 	if o.Advice == AdviceEvent {
 		name += "/advice=event"
 	}
+	if o.Chaos.Enabled() {
+		name += "/chaos=" + o.Chaos.Suffix()
+	}
 	return name
+}
+
+// kvCrashSchedule builds the advised-victim crash schedule: for each crash
+// time it re-derives the advice history over the pattern built so far and
+// kills whichever replica module 0's advice names at that instant. Earlier
+// victims are already crashed in the pattern, so a sane inner detector
+// never re-names them; a hostile chaos prefix can (it rotates over the
+// whole space), in which case the schedule falls back to the lowest live
+// replica. At least one replica always survives.
+func kvCrashSchedule(det fdet.Detector, ns, crashes int, first fdet.Time, storm bool, stabilize fdet.Time, seed int64) map[int]fdet.Time {
+	crashAt := map[int]fdet.Time{}
+	for c := 0; c < crashes && c < ns-1; c++ {
+		at := first * fdet.Time(c+1)
+		if storm {
+			at = first + fdet.Time(c)
+		}
+		pat := fdet.NewPattern(ns, crashAt)
+		h := det.History(pat, stabilize, seed)
+		victim, ok := h.Query(0, at).(int)
+		if !ok || victim < 0 || victim >= ns || pat.Crashed(victim, at) {
+			victim = pat.MinAlive(at)
+		}
+		crashAt[victim] = at
+	}
+	return crashAt
 }
 
 // kvPause is the clerk/replica poll-park policy: epoch parks under
@@ -135,6 +177,9 @@ func KVStress(opt KVStressOptions) (*StressReport, error) {
 	if opt.Duration <= 0 {
 		return nil, fmt.Errorf("native: kv stress needs a positive duration, got %v", opt.Duration)
 	}
+	if opt.CrashStorm && opt.CrashLeader < 1 {
+		return nil, fmt.Errorf("native: kv crash-storm needs crash-leader > 0")
+	}
 	nc, ns := opt.clients(), opt.N
 	hist := opt.Latency
 	if hist == nil {
@@ -143,13 +188,10 @@ func KVStress(opt KVStressOptions) (*StressReport, error) {
 	startCounters := MetricsSnapshot()
 	startKV := kv.MetricsSnapshot()
 
-	// Crash schedule: kill the acting leaders lowest-first, after
-	// stabilization, so every injected crash hits the replica the advice
-	// currently names — the failover path, not a bystander.
-	crashAt := map[int]fdet.Time{}
-	for c := 0; c < opt.CrashLeader && c < ns-1; c++ {
-		crashAt[c] = opt.crashAt() * fdet.Time(c+1)
-	}
+	// The advice detector, optionally wrapped hostile; the crash schedule
+	// chases whatever it advises so every kill hits the acting leader.
+	det := fdet.WithChaos(fdet.LiveOmega{}, opt.Chaos)
+	crashAt := kvCrashSchedule(det, ns, opt.CrashLeader, opt.crashAt(), opt.CrashStorm, opt.stabilize(), opt.Seed)
 	pat := fdet.NewPattern(ns, crashAt)
 
 	// The open-loop schedule: clerk op k is due at k·interval from the run
@@ -172,7 +214,8 @@ func KVStress(opt KVStressOptions) (*StressReport, error) {
 		Seed: opt.Seed, Pause: pause,
 		Clock: clock, Sleep: sleep,
 		Deadline: opt.Duration.Nanoseconds(), Interval: interval,
-		OnOp: func(rec kv.OpRecord, due int64) { hist.Observe(rec.End - due) },
+		OpTimeout: opt.ClerkTimeout.Nanoseconds(),
+		OnOp:      func(rec kv.OpRecord, due int64) { hist.Observe(rec.End - due) },
 	}
 	inputs := vec.New(nc)
 	for i := range inputs {
@@ -195,7 +238,7 @@ func KVStress(opt KVStressOptions) (*StressReport, error) {
 		CBody:     cc.Body,
 		SBody:     rc.Body,
 		Pattern:   pat,
-		History:   fdet.LiveOmega{}.History(pat, opt.stabilize(), opt.Seed),
+		History:   det.History(pat, opt.stabilize(), opt.Seed),
 		Tick:      opt.Tick,
 		Advice:    opt.Advice,
 		Registers: kv.Registers(nc, ns, slots),
@@ -243,5 +286,6 @@ func KVStress(opt KVStressOptions) (*StressReport, error) {
 	for name, v := range kv.MetricsSnapshot().Delta(startKV).Map() {
 		rep.Counters[name] = v
 	}
+	rep.Timeouts = rep.Counters["kv_deadline_expired"]
 	return rep, nil
 }

@@ -3,6 +3,8 @@ package native
 import (
 	"testing"
 	"time"
+
+	"wfadvice/internal/fdet"
 )
 
 func runKVStress(t *testing.T, opt KVStressOptions) *StressReport {
@@ -47,6 +49,46 @@ func TestKVStressLeaderCrash(t *testing.T) {
 	}
 	if rep.Scenario != "kv/n=3/clients=3/crash-leader=1" {
 		t.Fatalf("scenario key = %q", rep.Scenario)
+	}
+}
+
+func TestKVStressChaosStorm(t *testing.T) {
+	// The adversarial acceptance case at test scale: flapping advice, a
+	// back-to-back crash storm chasing whoever is advised, and a clerk
+	// deadline so a starved op surfaces as a timeout instead of a hang. The
+	// run must pass the checker whether or not any op actually timed out.
+	rep := runKVStress(t, KVStressOptions{
+		N: 4, Rate: 2000, Duration: 400 * time.Millisecond, Seed: 4,
+		Chaos:       fdet.AdviceChaos{Mode: fdet.ChaosFlap, Window: 8},
+		CrashLeader: 2, CrashStorm: true, Tick: 20 * time.Microsecond,
+		ClerkTimeout: 50 * time.Millisecond,
+	})
+	if rep.Scenario != "kv/n=4/clients=4/crash-leader=2/storm/chaos=flap:8" {
+		t.Fatalf("scenario key = %q", rep.Scenario)
+	}
+	if rep.Crashes != 2 {
+		t.Fatalf("injected crashes = %d, want 2", rep.Crashes)
+	}
+	if rep.Timeouts != rep.Counters["kv_deadline_expired"] {
+		t.Fatalf("report timeouts %d != counter %d", rep.Timeouts, rep.Counters["kv_deadline_expired"])
+	}
+}
+
+func TestKVCrashScheduleChasesAdvice(t *testing.T) {
+	// Victims are whoever the advice names at each crash time; with plain
+	// LiveOmega that is the lowest live replica, so the storm kills 0 then
+	// 1 at consecutive ticks, and the schedule never kills everyone.
+	sched := kvCrashSchedule(fdet.LiveOmega{}, 3, 5, 200, true, 100, 1)
+	if len(sched) != 2 {
+		t.Fatalf("schedule has %d victims, want 2 (one replica must survive): %v", len(sched), sched)
+	}
+	if sched[0] != 200 || sched[1] != 201 {
+		t.Fatalf("storm schedule = %v, want {0:200 1:201}", sched)
+	}
+	// Spaced (non-storm) kills: same victims, CrashAt-multiples apart.
+	spaced := kvCrashSchedule(fdet.LiveOmega{}, 3, 2, 200, false, 100, 1)
+	if spaced[0] != 200 || spaced[1] != 400 {
+		t.Fatalf("spaced schedule = %v, want {0:200 1:400}", spaced)
 	}
 }
 

@@ -140,11 +140,16 @@ type StressReport struct {
 	// Violations counts instances whose decisions broke the task's ∆ — an
 	// algorithm safety bug. Undecided counts instances cut off before every
 	// C-process decided — a liveness budget miss.
-	Violations int          `json:"violations"`
-	Undecided  int          `json:"undecided"`
-	Crashes    int          `json:"crashes"` // injected S-process kills observed
-	Latency    LatencyStats `json:"latency"`
-	Errors     []string     `json:"errors,omitempty"` // first few checker messages
+	Violations int `json:"violations"`
+	Undecided  int `json:"undecided"`
+	Crashes    int `json:"crashes"` // injected S-process kills observed
+	// Timeouts counts client operations that expired their per-op deadline
+	// (KV runs with a clerk timeout only): graceful degradation made
+	// visible, not a checker failure — the linearizability check accounts
+	// for every timed-out op.
+	Timeouts int64        `json:"timeouts,omitempty"`
+	Latency  LatencyStats `json:"latency"`
+	Errors   []string     `json:"errors,omitempty"` // first few checker messages
 	// Snapshots is the soak series (StressOptions.SnapshotEvery > 0 only).
 	Snapshots []SoakSnapshot `json:"snapshots,omitempty"`
 	// Counters holds the native counter deltas attributable to this run
@@ -191,6 +196,9 @@ func (r *StressReport) Render() string {
 		r.Scenario, r.Workers, r.Runs, r.Decisions, r.Ops, r.OpsPerSec,
 		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999, r.Latency.Max, r.Latency.Samples,
 		r.Crashes, verdict)
+	if r.Timeouts > 0 {
+		s += fmt.Sprintf("timeouts:   %d\n", r.Timeouts)
+	}
 	for _, e := range r.Errors {
 		s += "error:      " + e + "\n"
 	}

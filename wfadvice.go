@@ -108,6 +108,10 @@ type (
 	Trivial = fdet.Trivial
 	// DAG is a Chandra–Toueg sample of a detector history (Figure 1).
 	DAG = fdet.DAG
+	// ChaosMode selects a hostile pre-stabilization advice family.
+	ChaosMode = fdet.ChaosMode
+	// AdviceChaos is the parsed chaos configuration (mode, window, seed).
+	AdviceChaos = fdet.AdviceChaos
 )
 
 // Failure-pattern constructors and auditors.
@@ -119,6 +123,13 @@ var (
 	CheckOmega         = fdet.CheckOmega
 	CheckAntiOmegaK    = fdet.CheckAntiOmegaK
 	CheckVectorOmegaK  = fdet.CheckVectorOmegaK
+	// Adversarial advice: hostile pre-stabilization wrappers (legal under
+	// the Check* contracts, which audit only the post-stabilization suffix).
+	ParseChaos = fdet.ParseChaos
+	WithChaos  = fdet.WithChaos
+	Flap       = fdet.Flap
+	LieUntil   = fdet.LieUntil
+	Diverge    = fdet.Diverge
 )
 
 // Runtime.

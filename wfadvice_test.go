@@ -94,8 +94,8 @@ func TestFacadeExtraction(t *testing.T) {
 // TestFacadeExperiments ensures the harness is reachable from the facade.
 func TestFacadeExperiments(t *testing.T) {
 	runners := wfadvice.AllExperiments()
-	if len(runners) != 16 {
-		t.Fatalf("got %d experiments, want 16", len(runners))
+	if len(runners) != 17 {
+		t.Fatalf("got %d experiments, want 17", len(runners))
 	}
 	tbl := runners[0].Run() // E1 is fast
 	if tbl.Failures != 0 {
